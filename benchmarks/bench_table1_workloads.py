@@ -1,0 +1,65 @@
+"""Table I — the default workload parameter space.
+
+Materializes the generator at the Table I default point and at one value
+per parameter axis, verifying the produced histories actually carry the
+requested characteristics (sessions, ops/txn, read ratio, key bound) —
+the precondition for every other figure.
+"""
+
+from repro.bench import format_table, pick, write_result
+from repro.core.chronos import Chronos
+from repro.histories.stats import HistoryStats
+from repro.workloads.generator import generate_default_history
+from repro.workloads.spec import PARAMETER_GRID, WorkloadSpec
+
+
+def _run():
+    base_txns = pick(1_000, 5_000, 100_000)
+    rows = []
+    variations = [
+        {},
+        {"n_sessions": 10},
+        {"n_sessions": 200},
+        {"ops_per_txn": 5},
+        {"read_ratio": 0.9},
+        {"n_keys": 200},
+        {"distribution": "uniform"},
+        {"distribution": "hotspot"},
+    ]
+    for overrides in variations:
+        spec = WorkloadSpec(
+            n_transactions=base_txns,
+            n_sessions=min(24, overrides.get("n_sessions", 24)),
+            **{k: v for k, v in overrides.items() if k != "n_sessions"},
+        )
+        history = generate_default_history(spec)
+        stats = HistoryStats.of(history)
+        verdict = Chronos().check(history)
+        rows.append(
+            {
+                "variation": ",".join(f"{k}={v}" for k, v in overrides.items()) or "default",
+                "#txns": stats.n_transactions,
+                "#sess": stats.n_sessions,
+                "ops/txn": round(stats.ops_per_txn, 2),
+                "%reads": round(stats.read_ratio, 3),
+                "#keys<=": stats.n_keys,
+                "valid_SI": verdict.is_valid,
+            }
+        )
+    return rows
+
+
+def test_table1_parameter_space(run_once):
+    rows = run_once(_run)
+    print()
+    print(write_result("table1", rows, title="Table I: default workload grid"))
+
+    # The grid values are exactly the paper's.
+    assert PARAMETER_GRID["n_transactions"] == (5_000, 100_000, 200_000, 500_000, 1_000_000)
+    assert PARAMETER_GRID["distribution"] == ("uniform", "zipfian", "hotspot")
+
+    for row in rows:
+        assert row["valid_SI"], f"engine produced an invalid history: {row}"
+        assert abs(row["ops/txn"] - (5 if "ops_per_txn=5" in row["variation"] else 15)) < 0.01
+    default = rows[0]
+    assert 0.40 <= default["%reads"] <= 0.60

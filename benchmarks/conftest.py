@@ -1,0 +1,27 @@
+"""Shared configuration for the per-figure benchmarks.
+
+Every benchmark follows the same pattern: run one experiment once (via
+``benchmark.pedantic`` — the figures measure sweeps, not microseconds),
+print the paper-shaped table, persist it under ``benchmarks/results/``,
+and assert the figure's *shape* claims (who wins, how curves scale).
+Run with ``pytest benchmarks/ --benchmark-only``; set
+``REPRO_BENCH_SCALE=medium`` or ``paper`` for larger axes.
+"""
+
+import pytest
+
+
+def pytest_report_header(config):
+    from repro.bench import bench_scale
+
+    return f"repro benchmark scale: {bench_scale()} (REPRO_BENCH_SCALE)"
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark fixture."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

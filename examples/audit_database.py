@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Audit a (simulated) database deployment for isolation bugs.
+
+The scenario the paper motivates: you operate a database that claims
+snapshot isolation and want to verify the claim from its own logs.
+This example:
+
+1. runs the bundled MVCC engine under three configurations — a healthy
+   centralized oracle, a skew-prone decentralized (HLC) cluster, and a
+   pathologically skewed oracle reproducing the YugabyteDB v2.17.1.0
+   clock-skew bug class (§V-D);
+2. extracts each history from the CDC log, exactly as the paper extracts
+   timestamps from TiDB/YugabyteDB/Dgraph logs;
+3. checks SI offline with Chronos and prints per-axiom findings.
+
+Run:  python examples/audit_database.py
+"""
+
+from repro.core.chronos import Chronos
+from repro.db.faults import SkewedOracle
+from repro.db.oracle import CentralizedOracle, DecentralizedOracle
+from repro.workloads.generator import generate_default_history
+from repro.workloads.spec import WorkloadSpec
+
+
+def audit(name: str, oracle) -> None:
+    spec = WorkloadSpec(
+        n_sessions=12,
+        n_transactions=2_000,
+        ops_per_txn=10,
+        n_keys=200,
+        distribution="zipfian",
+        seed=2026,
+    )
+    history = generate_default_history(spec, oracle=oracle)
+
+    checker = Chronos()
+    result = checker.check(history)
+    print(f"\n=== {name} ===")
+    print(f"history : {len(history)} transactions, {history.op_count()} operations")
+    print(f"runtime : sort {checker.report.sort_seconds * 1000:.1f} ms, "
+          f"check {checker.report.check_seconds * 1000:.1f} ms")
+    print(f"verdict : {result.summary()}")
+    for axiom, count in sorted(result.counts().items(), key=lambda kv: kv[0].value):
+        sample = next(v for v in result.violations if v.axiom is axiom)
+        print(f"  {axiom.value:<11} x{count:<5} e.g. {sample.describe()}")
+
+
+def main() -> None:
+    audit("healthy centralized oracle (TiDB/Dgraph style)", CentralizedOracle())
+    audit(
+        "decentralized HLC cluster with loose clocks (YugabyteDB style)",
+        DecentralizedOracle(3, skews=[0, 7, -7]),
+    )
+    audit(
+        "clock-skew bug reproduction (timestamps drift into the past)",
+        SkewedOracle(CentralizedOracle(), probability=0.08, max_skew=80),
+    )
+    print(
+        "\nNote: the skewed deployments execute correctly in real time — the\n"
+        "recorded timestamps simply no longer justify the observed values,\n"
+        "which is precisely what a timestamp-based checker detects and a\n"
+        "black-box checker may miss (Fig 11 / §V-D of the paper)."
+    )
+
+
+if __name__ == "__main__":
+    main()

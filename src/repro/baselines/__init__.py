@@ -1,0 +1,44 @@
+"""Baseline checkers the paper compares against (§V, §VII).
+
+All baselines are implemented from scratch on the shared dependency-graph
+machinery in :mod:`repro.baselines.depgraph`:
+
+- :mod:`repro.baselines.elle` — **ElleKV** / **ElleList**: infer
+  dependency edges from unique values (registers) or list prefixes
+  (appends), then detect cycles with networkx.  Sound but incomplete on
+  registers, complete on lists — Elle's documented profile.
+- :mod:`repro.baselines.emme` — **Emme-SI** / **Emme-SER**: white-box
+  version-order recovery from timestamps, then a start-ordered
+  serialization graph over the *entire* history and cycle detection —
+  the whole-graph cost Chronos avoids (Fig 4/5).
+- :mod:`repro.baselines.polysi` — **PolySI**: black-box SI checking;
+  unknown per-key version orders are searched with the backtracking
+  acyclicity solver in :mod:`repro.baselines.solver` (our stand-in for
+  MonoSAT), over the SI-split graph.
+- :mod:`repro.baselines.viper` — **Viper**: the same search over a
+  BC-polygraph (begin/commit event nodes).
+- :mod:`repro.baselines.cobra` — **Cobra**: online SER checking in
+  rounds with fence-derived ordering, terminating at the first violation.
+"""
+
+from repro.baselines.cobra import CobraChecker, CobraConfig
+from repro.baselines.depgraph import DependencyGraph, VersionOrderError
+from repro.baselines.elle import ElleKV, ElleList
+from repro.baselines.emme import EmmeSer, EmmeSi
+from repro.baselines.polysi import PolySi
+from repro.baselines.solver import AcyclicitySolver
+from repro.baselines.viper import Viper
+
+__all__ = [
+    "AcyclicitySolver",
+    "CobraChecker",
+    "CobraConfig",
+    "DependencyGraph",
+    "ElleKV",
+    "ElleList",
+    "EmmeSer",
+    "EmmeSi",
+    "PolySi",
+    "VersionOrderError",
+    "Viper",
+]

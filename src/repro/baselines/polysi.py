@@ -1,0 +1,105 @@
+"""PolySI-style black-box SI checking (Huang et al., VLDB'23).
+
+Without timestamps the version order of each key is unknown; PolySI
+builds a *generalized polygraph* — fixed session/read edges plus one
+binary choice per unordered pair of same-key writers — and asks a solver
+whether some orientation of all choices yields an acyclic SI graph.
+
+Encoding here:
+
+- node space: the SI split graph of :mod:`repro.baselines.depgraph`
+  (``(tid, 0)`` normal / ``(tid, 1)`` after-anti-dependency), so plain
+  acyclicity of the search graph is exactly the SI condition;
+- fixed edges: SO and WR dependencies, plus the initial transaction ⊥T
+  ordered before every other writer;
+- choice ``{w1, w2}`` on key ``k``: orientation ``w1 < w2`` contributes
+  the dependency edge ``w1 → w2`` and an anti-dependency ``r → w2`` for
+  every transaction ``r`` that read ``w1``'s version of ``k`` (the
+  classical polygraph constraint, transitive RW form).
+
+The search is exponential in the worst case — the behaviour Fig 4
+documents for black-box checkers — so benchmark configurations keep
+PolySI's histories small, as the paper's own figure does.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+from repro.baselines.depgraph import CycleViolation, DependencyGraph
+from repro.baselines.solver import AcyclicitySolver, Choice
+from repro.core.violations import Axiom, CheckResult
+from repro.histories.model import History, INIT_TID
+
+__all__ = ["PolySi"]
+
+
+class PolySi:
+    """Black-box SI checker over key-value histories."""
+
+    def __init__(self) -> None:
+        self.build_seconds = 0.0
+        self.solve_seconds = 0.0
+        self.n_choices = 0
+
+    def check(self, history: History) -> CheckResult:
+        t0 = time.perf_counter()
+        graph = DependencyGraph(history)
+        reads = graph.resolve_reads()
+        readers_of: Dict[Tuple[str, int], List[int]] = {}
+        for reader, key, writer in reads:
+            readers_of.setdefault((key, writer), []).append(reader)
+
+        solver = AcyclicitySolver()
+        for txn in history:
+            solver.add_node((txn.tid, 0))
+            solver.add_node((txn.tid, 1))
+
+        def dep(u: int, v: int) -> None:
+            solver.add_fixed_edge((u, 0), (v, 0))
+            solver.add_fixed_edge((u, 1), (v, 0))
+
+        def rw_edges(key: str, earlier: int, later: int) -> List[Tuple]:
+            edges: List[Tuple] = [((earlier, 0), (later, 0)), ((earlier, 1), (later, 0))]
+            for reader in readers_of.get((key, earlier), ()):
+                if reader != later:
+                    edges.append(((reader, 0), (later, 1)))
+            return edges
+
+        for u, v in graph.session_edges():
+            dep(u, v)
+        for reader, _key, writer in reads:
+            dep(writer, reader)
+
+        for key, writers in graph.writers_by_key.items():
+            others = [w for w in dict.fromkeys(writers) if w != INIT_TID]
+            if INIT_TID in writers:
+                for writer in others:
+                    for edge in rw_edges(key, INIT_TID, writer):
+                        solver.add_fixed_edge(*edge)
+            for i, w1 in enumerate(others):
+                for w2 in others[i + 1:]:
+                    solver.add_choice(
+                        Choice(
+                            name=("ww", key, w1, w2),
+                            if_true=rw_edges(key, w1, w2),
+                            if_false=rw_edges(key, w2, w1),
+                        )
+                    )
+        self.n_choices = solver.n_choices
+        self.build_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        assignment = solver.solve()
+        self.solve_seconds = time.perf_counter() - t0
+        if assignment is None:
+            graph.result.add(
+                CycleViolation(
+                    axiom=Axiom.EXT,
+                    tid=-1,
+                    cycle_tids=(),
+                    flavor="SI-unsatisfiable (no acyclic version order)",
+                )
+            )
+        return graph.result

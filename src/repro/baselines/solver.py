@@ -1,0 +1,201 @@
+"""A backtracking acyclicity solver — the MonoSAT stand-in.
+
+PolySI, Viper and Cobra encode isolation checking as: *given fixed edges
+and a set of binary choices (each contributing one of two edge sets),
+does some assignment keep the graph acyclic?*  The real systems hand this
+to MonoSAT's acyclicity theory; this module implements the same search
+directly:
+
+- chronological backtracking over the choice variables;
+- incremental cycle detection (a DFS reachability probe per candidate
+  edge) as the theory propagator;
+- unit propagation: when one orientation of a variable already closes a
+  cycle, the other is forced immediately.
+
+Exhaustive search over unknown version orders is exactly why black-box
+checking scales super-linearly (Fig 4); this solver intentionally shares
+that profile while staying correct on the small histories the comparison
+figures use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["AcyclicitySolver", "Choice"]
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+@dataclass
+class Choice:
+    """One binary decision: orientation True adds ``if_true`` edges."""
+
+    name: Hashable
+    if_true: List[Edge] = field(default_factory=list)
+    if_false: List[Edge] = field(default_factory=list)
+
+
+class _Graph:
+    """Adjacency with multiset edge counts (choices may repeat edges)."""
+
+    __slots__ = ("succ",)
+
+    def __init__(self) -> None:
+        self.succ: Dict[Node, Dict[Node, int]] = {}
+
+    def add(self, edge: Edge) -> None:
+        u, v = edge
+        targets = self.succ.setdefault(u, {})
+        targets[v] = targets.get(v, 0) + 1
+        self.succ.setdefault(v, {})
+
+    def remove(self, edge: Edge) -> None:
+        u, v = edge
+        targets = self.succ[u]
+        count = targets[v] - 1
+        if count:
+            targets[v] = count
+        else:
+            del targets[v]
+
+    def is_acyclic(self) -> bool:
+        """Kahn's algorithm over the whole current graph (O(V + E))."""
+        indegree: Dict[Node, int] = {node: 0 for node in self.succ}
+        for targets in self.succ.values():
+            for node in targets:
+                indegree[node] += 1
+        queue = [node for node, degree in indegree.items() if degree == 0]
+        visited = 0
+        while queue:
+            node = queue.pop()
+            visited += 1
+            for nxt in self.succ.get(node, ()):
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    queue.append(nxt)
+        return visited == len(indegree)
+
+    def reaches(self, source: Node, target: Node) -> bool:
+        """Iterative DFS: is ``target`` reachable from ``source``?"""
+        if source == target:
+            return True
+        stack = [source]
+        seen: Set[Node] = {source}
+        succ = self.succ
+        while stack:
+            node = stack.pop()
+            for nxt in succ.get(node, ()):  # noqa: B909 - read-only scan
+                if nxt == target:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
+    def creates_cycle(self, edges: Sequence[Edge]) -> bool:
+        """Would adding all ``edges`` close a cycle?
+
+        Checks each edge against the current graph plus the previously
+        probed edges of the same batch.
+        """
+        added: List[Edge] = []
+        try:
+            for u, v in edges:
+                if self.reaches(v, u):
+                    return True
+                self.add((u, v))
+                added.append((u, v))
+            return False
+        finally:
+            for edge in added:
+                self.remove(edge)
+
+
+class AcyclicitySolver:
+    """Search for an assignment of choices keeping the graph acyclic."""
+
+    def __init__(self) -> None:
+        self._graph = _Graph()
+        self._choices: List[Choice] = []
+        self.decisions = 0
+        self.backtracks = 0
+
+    def add_node(self, node: Node) -> None:
+        self._graph.succ.setdefault(node, {})
+
+    def add_fixed_edge(self, u: Node, v: Node) -> None:
+        """Add a permanent edge (acyclicity of the fixed part is checked
+        once, at the start of :meth:`solve`)."""
+        self._graph.add((u, v))
+
+    def add_choice(self, choice: Choice) -> None:
+        self._choices.append(choice)
+
+    @property
+    def n_choices(self) -> int:
+        return len(self._choices)
+
+    def solve(self) -> Optional[Dict[Hashable, bool]]:
+        """Return a satisfying assignment, or None when none exists."""
+        if not self._graph.is_acyclic():
+            return None
+        assignment: Dict[Hashable, bool] = {}
+        trail: List[Tuple[int, bool, bool]] = []  # (choice idx, value, was_forced)
+        index = 0
+        prefer_true = True
+        while True:
+            if index == len(self._choices):
+                return assignment
+            choice = self._choices[index]
+            true_bad = self._graph.creates_cycle(choice.if_true)
+            false_bad = self._graph.creates_cycle(choice.if_false)
+            candidates: List[bool] = []
+            if not true_bad and not false_bad:
+                candidates = [prefer_true, not prefer_true]
+            elif not true_bad:
+                candidates = [True]
+            elif not false_bad:
+                candidates = [False]
+
+            if candidates:
+                value = candidates[0]
+                forced = len(candidates) == 1
+                self._apply(choice, value)
+                assignment[choice.name] = value
+                trail.append((index, value, forced))
+                self.decisions += 1
+                index += 1
+                prefer_true = True
+                continue
+
+            # Both orientations close a cycle: backtrack to the last
+            # unforced decision and flip it.
+            while trail:
+                last_index, last_value, was_forced = trail.pop()
+                last_choice = self._choices[last_index]
+                self._unapply(last_choice, last_value)
+                del assignment[last_choice.name]
+                self.backtracks += 1
+                if not was_forced:
+                    flipped = not last_value
+                    if not self._graph.creates_cycle(
+                        last_choice.if_true if flipped else last_choice.if_false
+                    ):
+                        self._apply(last_choice, flipped)
+                        assignment[last_choice.name] = flipped
+                        trail.append((last_index, flipped, True))
+                        index = last_index + 1
+                        break
+            else:
+                return None
+
+    def _apply(self, choice: Choice, value: bool) -> None:
+        for edge in (choice.if_true if value else choice.if_false):
+            self._graph.add(edge)
+
+    def _unapply(self, choice: Choice, value: bool) -> None:
+        for edge in (choice.if_true if value else choice.if_false):
+            self._graph.remove(edge)

@@ -1,0 +1,100 @@
+"""Viper-style black-box SI checking via BC-polygraphs (EuroSys'23).
+
+Viper reduces SI checking to cycle detection on a *BC-polygraph*: every
+transaction contributes a **b**egin node and a **c**ommit node, and SI's
+snapshot discipline turns into event-ordering edges:
+
+- ``b_t → c_t``                       — a transaction spans its lifetime;
+- SO: ``c_prev → b_next``             — strong-session SI;
+- WR (``w`` read by ``r``): ``c_w → b_r``  — the version was committed
+  before the reader's snapshot;
+- WW orientation ``w1 < w2``: ``c_w1 → b_w2`` (NOCONFLICT: conflicting
+  writers must not overlap, so the earlier must commit before the later
+  starts), and for every reader ``r`` of ``w1``'s version:
+  ``b_r → c_w2`` — the reader's snapshot was taken before the later
+  version committed (else it would have seen it).
+
+Unknown per-key write orders again become solver choices; satisfiability
+of acyclicity over the event graph is the SI verdict.  The event-node
+encoding is what distinguishes Viper from PolySI here, mirroring the two
+systems' different polygraph formulations.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+from repro.baselines.depgraph import CycleViolation, DependencyGraph
+from repro.baselines.solver import AcyclicitySolver, Choice
+from repro.core.violations import Axiom, CheckResult
+from repro.histories.model import History, INIT_TID
+
+__all__ = ["Viper"]
+
+
+class Viper:
+    """Black-box SI checker over key-value histories (BC-polygraph)."""
+
+    def __init__(self) -> None:
+        self.build_seconds = 0.0
+        self.solve_seconds = 0.0
+        self.n_choices = 0
+
+    def check(self, history: History) -> CheckResult:
+        t0 = time.perf_counter()
+        graph = DependencyGraph(history)
+        reads = graph.resolve_reads()
+        readers_of: Dict[Tuple[str, int], List[int]] = {}
+        for reader, key, writer in reads:
+            readers_of.setdefault((key, writer), []).append(reader)
+
+        solver = AcyclicitySolver()
+        for txn in history:
+            solver.add_node(("b", txn.tid))
+            solver.add_node(("c", txn.tid))
+            solver.add_fixed_edge(("b", txn.tid), ("c", txn.tid))
+
+        for u, v in graph.session_edges():
+            solver.add_fixed_edge(("c", u), ("b", v))
+        for reader, _key, writer in reads:
+            solver.add_fixed_edge(("c", writer), ("b", reader))
+
+        def orientation_edges(key: str, earlier: int, later: int) -> List[Tuple]:
+            edges: List[Tuple] = [(("c", earlier), ("b", later))]
+            for reader in readers_of.get((key, earlier), ()):
+                if reader != later:
+                    edges.append((("b", reader), ("c", later)))
+            return edges
+
+        for key, writers in graph.writers_by_key.items():
+            others = [w for w in dict.fromkeys(writers) if w != INIT_TID]
+            if INIT_TID in writers:
+                for writer in others:
+                    for edge in orientation_edges(key, INIT_TID, writer):
+                        solver.add_fixed_edge(*edge)
+            for i, w1 in enumerate(others):
+                for w2 in others[i + 1:]:
+                    solver.add_choice(
+                        Choice(
+                            name=("ww", key, w1, w2),
+                            if_true=orientation_edges(key, w1, w2),
+                            if_false=orientation_edges(key, w2, w1),
+                        )
+                    )
+        self.n_choices = solver.n_choices
+        self.build_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        assignment = solver.solve()
+        self.solve_seconds = time.perf_counter() - t0
+        if assignment is None:
+            graph.result.add(
+                CycleViolation(
+                    axiom=Axiom.EXT,
+                    tid=-1,
+                    cycle_tids=(),
+                    flavor="SI-unsatisfiable (BC-polygraph cyclic)",
+                )
+            )
+        return graph.result

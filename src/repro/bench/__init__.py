@@ -1,0 +1,37 @@
+"""Benchmark harness shared by the per-figure benchmarks.
+
+Every table and figure of the paper's evaluation has one file under
+``benchmarks/``; this package provides the scaffolding they share:
+scale selection (``REPRO_BENCH_SCALE``), history caching, table
+formatting, result persistence, and memory measurement.
+"""
+
+from repro.bench.harness import (
+    RESULTS_DIR,
+    bench_scale,
+    cached_default_history,
+    cached_list_history,
+    cached_rubis_history,
+    cached_tpcc_history,
+    cached_twitter_history,
+    format_series,
+    format_table,
+    peak_alloc_mb,
+    pick,
+    write_result,
+)
+
+__all__ = [
+    "RESULTS_DIR",
+    "bench_scale",
+    "cached_default_history",
+    "cached_list_history",
+    "cached_rubis_history",
+    "cached_tpcc_history",
+    "cached_twitter_history",
+    "format_series",
+    "format_table",
+    "peak_alloc_mb",
+    "pick",
+    "write_result",
+]

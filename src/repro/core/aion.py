@@ -1,0 +1,475 @@
+"""Aion — the online timestamp-based SI checker (Algorithm 3).
+
+Aion receives committed transactions one at a time, in an order that
+respects each session but is otherwise arbitrary (asynchrony may deliver
+transactions far from timestamp order), and maintains the same verdicts
+Chronos would produce on the full history.  Per arrival it performs the
+three steps of Algorithm 3:
+
+① check SESSION / INT / EXT for the new transaction ``T``, evaluating
+  external reads against the *versioned* frontier at ``T.start_ts``
+  (:class:`~repro.core.versioned.VersionedFrontier`);
+
+② re-check NOCONFLICT for transactions overlapping ``T``: an interval
+  overlap query on the per-key writer index
+  (:class:`~repro.core.versioned.WriterIntervals`), reporting each
+  conflicting pair once, attributed to the transaction with the smaller
+  commit timestamp;
+
+③ re-check EXT for transactions whose snapshot now sees ``T``'s writes:
+  exactly the external reads of keys in ``T.wkey`` with snapshot points in
+  ``[T.commit_ts, next-overwrite)`` — the paper's three optimizations
+  (only keys written by ``T``, not yet overwritten, stop at overwrite)
+  fall out of the per-key read index
+  (:class:`~repro.core.versioned.ExtReadIndex`).
+
+EXT verdicts are tentative (they can flip as delayed transactions arrive)
+and are only *reported* when the transaction's timer expires
+(:class:`~repro.core.ext_status.ExtStatusTracker`); INT, SESSION and
+NOCONFLICT verdicts are stable and reported immediately.
+
+Garbage collection (:meth:`Aion.collect_below`) transfers frontier
+versions, writer intervals, and resident transactions below a GC-safe
+timestamp to a disk :class:`~repro.core.spill.SpillStore`; the checker
+transparently reloads overlapping segments when a severely delayed
+transaction forces a query below the in-memory boundary.
+
+Per-arrival complexity is ``O(log N + M)`` plus the size of the affected
+re-check sets (§III-C4).
+
+Scope note: list (append) operations are supported offline by Chronos;
+online re-resolution of appends under asynchrony cascades and is left as
+the paper leaves it (the online evaluation, §VI, uses key-value
+histories).  Aion raises :class:`ValueError` when handed an append.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.common import BOTTOM, SessionTracker, simulate_transaction_ops, values_match
+from repro.core.ext_status import ExtStatusTracker, ExtVerdict, FlipFlopStats
+from repro.core.spill import SpillStore
+from repro.core.versioned import ExtReadIndex, VersionedFrontier, WriterIntervals
+from repro.core.violations import (
+    Axiom,
+    CheckResult,
+    ConflictViolation,
+    ExtViolation,
+    IntViolation,
+    TimestampOrderViolation,
+    Violation,
+)
+from repro.histories.model import OpKind, Transaction
+from repro.util.sizeof import deep_sizeof
+from repro.util.sortedmap import SortedMap
+
+__all__ = ["Aion", "AionConfig", "GcReport"]
+
+
+@dataclass
+class AionConfig:
+    """Tunables of the online checker.
+
+    ``timeout`` is the EXT re-checking deadline per transaction (the paper
+    conservatively uses 5 seconds, §IV-A).  ``spill_dir`` fixes where GC
+    segments are written; None uses a temporary directory.
+
+    ``optimized_recheck`` enables the paper's three step-③ optimizations
+    (re-check only keys written by the arrival, only reads whose visible
+    version actually changed, stop at the next overwrite).  Disabling it
+    re-evaluates *every* pending external read of each written key
+    against a fresh frontier query — still correct, but the ablation the
+    throughput benchmarks quantify.
+    """
+
+    timeout: float = 5.0
+    spill_dir: Optional[Path] = None
+    optimized_recheck: bool = True
+
+
+@dataclass
+class GcReport:
+    """Outcome of one garbage collection cycle."""
+
+    requested_ts: int
+    effective_ts: int
+    evicted_versions: int
+    evicted_intervals: int
+    evicted_txns: int
+    seconds: float
+
+
+class Aion:
+    """Online SI checker over key-value histories.
+
+    Parameters
+    ----------
+    config:
+        See :class:`AionConfig`.
+    clock:
+        A zero-argument callable returning the current time in seconds.
+        Defaults to :func:`time.monotonic`; the online experiment runner
+        injects a virtual clock so timeout behaviour is deterministic.
+    """
+
+    def __init__(
+        self,
+        config: Optional[AionConfig] = None,
+        *,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.config = config or AionConfig()
+        self._clock = clock if clock is not None else time.monotonic
+        self._frontier = VersionedFrontier()
+        self._writers = WriterIntervals()
+        self._ext_reads = ExtReadIndex()
+        self._sessions = SessionTracker(mode="si")
+        self._ext = ExtStatusTracker(
+            timeout=self.config.timeout,
+            on_violation=self._report_ext_violation,
+            on_finalized=self._drop_finalized_read,
+        )
+        self._result = CheckResult()
+        self._fresh: List[Violation] = []
+        self._resident: Dict[int, Transaction] = {}
+        self._resident_by_cts: SortedMap = SortedMap()
+        self._spill: Optional[SpillStore] = None
+        self._collected_upto: Optional[int] = None
+        self.processed = 0
+
+    # ------------------------------------------------------------------
+    # Receiving transactions
+    # ------------------------------------------------------------------
+
+    def receive(self, txn: Transaction) -> None:
+        """Process one incoming transaction (ONLINE_CHECK_SI, Algorithm 3)."""
+        now = self._clock()
+        self._ext.advance_to(now)
+
+        if txn.start_ts > txn.commit_ts:  # Eq. 1 (lines 3:4–3:5)
+            self._report(
+                TimestampOrderViolation(
+                    axiom=Axiom.TS_ORDER,
+                    tid=txn.tid,
+                    start_ts=txn.start_ts,
+                    commit_ts=txn.commit_ts,
+                )
+            )
+            return
+
+        for op in txn.ops:
+            if op.kind is OpKind.APPEND:
+                raise ValueError(
+                    "Aion checks key-value histories online; list (append) "
+                    "histories are checked offline by Chronos"
+                )
+
+        # Severely delayed transaction below the GC boundary: restore ALL
+        # spilled state (reload-on-demand, ▧).  Everything is needed, not
+        # just segments below the commit timestamp — the re-check range of
+        # step ③ is bounded by the *next* version of each written key,
+        # which may itself be spilled in a higher segment.
+        if self._collected_upto is not None and txn.start_ts <= self._collected_upto:
+            self._reload_below(None)
+
+        violation = self._sessions.observe(txn)  # lines 3:7–3:10
+        if violation is not None:
+            self._report(violation)
+
+        tid = txn.tid
+
+        # ---- step ①: INT immediately, EXT tentatively (lines 3:11–3:25).
+        writes = simulate_transaction_ops(
+            txn,
+            lambda key: self._visible_value(key, txn.start_ts),
+            lambda key, exp, act: None,  # EXT handled below with full tracking
+            lambda key, exp, act: self._report(
+                IntViolation(axiom=Axiom.INT, tid=tid, key=key, expected=exp, actual=act)
+            ),
+        )
+        for key, op in txn.external_reads.items():
+            expected = self._visible_value(key, txn.start_ts)
+            self._ext.track(
+                tid, key, txn.start_ts, op.value, ok=values_match(expected, op.value),
+                expected=expected, now=now,
+            )
+            self._ext_reads.add(key, txn.start_ts, tid, op.value)
+        self._ext.arm_timer(tid, now)  # line 3:3
+
+        # ---- step ②: NOCONFLICT re-check via interval overlap.
+        for key in writes:
+            for hit in self._writers.overlapping(
+                key, txn.start_ts, txn.commit_ts, exclude_tid=tid
+            ):
+                self._report_conflict(txn, hit.owner, hit.end, key)
+            self._writers.add(key, txn.start_ts, txn.commit_ts, tid)
+
+        # ---- step ③: EXT re-check for snapshots that now see T's writes.
+        for key, value in writes.items():
+            nxt = self._frontier.next_after(key, txn.commit_ts)
+            next_ts = nxt[0] if nxt is not None else None
+            self._frontier.insert(key, txn.commit_ts, value, tid)
+            if self.config.optimized_recheck:
+                for _, reader_tid, actual in self._ext_reads.affected_by(
+                    key, txn.commit_ts, next_ts
+                ):
+                    if reader_tid == tid:
+                        continue
+                    self._ext.reevaluate(reader_tid, key, actual == value, value, now)
+            else:
+                # Ablation: re-evaluate every pending read of the key
+                # against a fresh visibility query (no range cutoff).
+                for snapshot_ts, reader_tid, actual in self._ext_reads.affected_by(
+                    key, 0, None
+                ):
+                    if reader_tid == tid:
+                        continue
+                    expected = self._visible_value(key, snapshot_ts)
+                    self._ext.reevaluate(
+                        reader_tid, key, values_match(expected, actual), expected, now
+                    )
+
+        self._resident[tid] = txn
+        self._resident_by_cts[(txn.commit_ts, tid)] = tid
+        self.processed += 1
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def poll(self) -> List[Violation]:
+        """Drain violations reported since the previous poll.
+
+        Also fires any EXT timeouts that are due at the current clock.
+        """
+        self._ext.advance_to(self._clock())
+        fresh, self._fresh = self._fresh, []
+        return fresh
+
+    def finalize(self) -> CheckResult:
+        """Force-finalize all pending EXT verdicts and return the result.
+
+        Used at end of stream; equivalent to waiting out every timer.
+        """
+        self._ext.flush()
+        return self._result
+
+    @property
+    def result(self) -> CheckResult:
+        """Violations reported so far (EXT only after finalization)."""
+        return self._result
+
+    @property
+    def flipflop_stats(self) -> FlipFlopStats:
+        return self._ext.stats
+
+    @property
+    def resident_txn_count(self) -> int:
+        """Transactions currently held in memory (GC threshold input)."""
+        return len(self._resident)
+
+    @property
+    def spill_store(self) -> Optional[SpillStore]:
+        return self._spill
+
+    def estimated_bytes(self) -> int:
+        """Deep-size estimate of the checker's live structures."""
+        return deep_sizeof(
+            (
+                self._frontier,
+                self._writers,
+                self._ext_reads,
+                self._resident,
+                self._ext,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Garbage collection (lines 3:62–3:66)
+    # ------------------------------------------------------------------
+
+    def gc_safe_ts(self) -> Optional[int]:
+        """Default collection watermark: everything currently resident.
+
+        Eviction is safe at any timestamp because (a) the versioned
+        frontier always retains the newest evicted version per key, so
+        visibility queries above the watermark stay exact, (b) pending
+        EXT verdicts and their re-check index live outside the evicted
+        structures, and (c) a severely delayed transaction below the
+        watermark transparently reloads the spilled segments.  None when
+        nothing is resident."""
+        if not self._resident_by_cts:
+            return None
+        (max_cts, _), _ = self._resident_by_cts.max_item()
+        return max_cts
+
+    def suggest_gc_ts(self, keep_recent: int = 2000) -> Optional[int]:
+        """A collection watermark that spares the ``keep_recent`` newest
+        resident transactions.
+
+        Arrivals lag at most the collector's delay spread behind the
+        newest commit, so keeping a recency margin makes dips below the
+        collected boundary — each of which forces a segment reload —
+        rare instead of constant.  Returns None when the margin already
+        covers everything resident.
+        """
+        excess = len(self._resident_by_cts) - keep_recent
+        if excess <= 0:
+            return None
+        for index, ((cts, _tid), _) in enumerate(self._resident_by_cts.items()):
+            if index == excess - 1:
+                return cts
+        return None
+
+    def collect_below(self, ts: Optional[int] = None) -> GcReport:
+        """Transfer structures with timestamps <= ``ts`` to disk.
+
+        ``ts`` defaults to (and is always clamped by) :meth:`gc_safe_ts`.
+        """
+        t0 = time.perf_counter()
+        safe = self.gc_safe_ts()
+        if safe is None:
+            return GcReport(ts if ts is not None else -1, -1, 0, 0, 0, 0.0)
+        effective = safe if ts is None else min(ts, safe)
+
+        frontier_segment = self._frontier.evict_below(effective)
+        interval_segment = self._writers.evict_below(effective)
+        evicted_txns: List[Transaction] = []
+        for (cts, tid), _ in self._resident_by_cts.pop_below((effective, _TID_MAX)):
+            txn = self._resident.pop(tid, None)
+            if txn is not None:
+                evicted_txns.append(txn)
+
+        n_versions = sum(len(v) for v in frontier_segment.values())
+        n_intervals = sum(len(v) for v in interval_segment.values())
+        if frontier_segment or interval_segment or evicted_txns:
+            if self._spill is None:
+                self._spill = SpillStore(self.config.spill_dir)
+            from repro.histories.serialization import txn_to_dict
+
+            # The segment's range must bound its *content*: reloaded and
+            # re-evicted data can be much older than the previous GC
+            # boundary, and a range that overstates min_ts would hide the
+            # segment from reloads that need it.
+            content_min = effective
+            for versions in frontier_segment.values():
+                for cts, _value, _tid in versions:
+                    if cts < content_min:
+                        content_min = cts
+            for intervals in interval_segment.values():
+                for start_ts, _end_ts, _tid in intervals:
+                    if start_ts < content_min:
+                        content_min = start_ts
+            for txn in evicted_txns:
+                if txn.start_ts < content_min:
+                    content_min = txn.start_ts
+            self._spill.spill(
+                content_min,
+                effective,
+                {
+                    "frontier": {k: v for k, v in frontier_segment.items()},
+                    "intervals": {k: v for k, v in interval_segment.items()},
+                    "txns": [txn_to_dict(t) for t in evicted_txns],
+                },
+                n_items=n_versions + n_intervals + len(evicted_txns),
+            )
+        if self._collected_upto is None or effective > self._collected_upto:
+            self._collected_upto = effective
+        return GcReport(
+            requested_ts=ts if ts is not None else safe,
+            effective_ts=effective,
+            evicted_versions=n_versions,
+            evicted_intervals=n_intervals,
+            evicted_txns=len(evicted_txns),
+            seconds=time.perf_counter() - t0,
+        )
+
+    def close(self) -> None:
+        """Release the spill directory, if any."""
+        if self._spill is not None:
+            self._spill.close()
+            self._spill = None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _visible_value(self, key: str, ts: int) -> Any:
+        version = self._frontier.latest_at(key, ts)
+        # A floor below the collected boundary may be stale (or absent):
+        # newer versions still <= ts can live in spilled segments.
+        if (
+            self._spill is not None
+            and self._collected_upto is not None
+            and ts <= self._collected_upto
+        ):
+            spilled_min = self._spill.min_spilled_ts()
+            if spilled_min is not None and spilled_min <= ts:
+                self._reload_below(ts)
+                version = self._frontier.latest_at(key, ts)
+        return BOTTOM if version is None else version[1]
+
+    def _reload_below(self, ts: Optional[int]) -> None:
+        """Reload spilled segments overlapping [0, ts] (None = all)."""
+        if self._spill is None:
+            return
+        for payload in self._spill.reload_overlapping(0, ts):
+            self._frontier.merge(
+                {k: [tuple(v) for v in versions] for k, versions in payload["frontier"].items()}
+            )
+            self._writers.merge(
+                {k: [tuple(v) for v in ivs] for k, ivs in payload["intervals"].items()}
+            )
+
+    def _report(self, violation: Violation) -> None:
+        self._result.add(violation)
+        self._fresh.append(violation)
+
+    def _report_conflict(self, txn: Transaction, other_tid: int, other_cts: int, key: str) -> None:
+        # One report per pair, attributed to the smaller commit timestamp
+        # (matches Chronos's commit-event reporting convention).
+        if txn.commit_ts < other_cts:
+            earlier, later = txn.tid, other_tid
+        else:
+            earlier, later = other_tid, txn.tid
+        self._report(
+            ConflictViolation(
+                axiom=Axiom.NOCONFLICT,
+                tid=earlier,
+                key=key,
+                conflicting_tids=frozenset({later}),
+            )
+        )
+
+    def _report_ext_violation(self, verdict: ExtVerdict) -> None:
+        self._report(
+            ExtViolation(
+                axiom=Axiom.EXT,
+                tid=verdict.tid,
+                key=verdict.key,
+                expected=verdict.expected,
+                actual=verdict.actual,
+            )
+        )
+
+    def _drop_finalized_read(self, verdict: ExtVerdict) -> None:
+        self._ext_reads.remove(verdict.key, verdict.snapshot_ts)
+
+
+class _TidMax:
+    """Sentinel comparing greater than any tid in resident-eviction keys."""
+
+    __slots__ = ()
+
+    def __lt__(self, other: Any) -> bool:
+        return False
+
+    def __gt__(self, other: Any) -> bool:
+        return other is not self
+
+
+_TID_MAX = _TidMax()

@@ -1,0 +1,300 @@
+"""Aion-SER — the online timestamp-based serializability checker (§VI).
+
+Serializability in commit-timestamp order simplifies the online problem:
+start timestamps are ignored and NOCONFLICT is not needed, so the checker
+keeps only the versioned frontier and the external-read index.  A
+transaction's snapshot point is its *commit* timestamp, and an external
+read must return the value of the greatest version *strictly below* that
+point (the serial predecessor).
+
+Out-of-order arrival still destabilizes EXT: a transaction slotting into
+the middle of the serial order changes the predecessor of later readers.
+Re-checking mirrors Aion's step ③ with the boundary adjusted: a version
+inserted at ``cts`` affects readers with snapshot points in
+``(cts, next-version]`` — the upper bound is inclusive because the reader
+committing exactly at the next version is that version's own writer and
+reads strictly below itself.
+
+Like Cobra, Aion-SER is an online SER checker, but it needs no fence
+transactions and keeps checking past violations (Fig 12a/25).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, List, Optional
+
+from repro.core.aion import AionConfig, GcReport, _TID_MAX
+from repro.core.common import BOTTOM, SessionTracker, simulate_transaction_ops, values_match
+from repro.core.ext_status import ExtStatusTracker, ExtVerdict, FlipFlopStats
+from repro.core.spill import SpillStore
+from repro.core.versioned import ExtReadIndex, VersionedFrontier
+from repro.core.violations import (
+    Axiom,
+    CheckResult,
+    ExtViolation,
+    IntViolation,
+    TimestampOrderViolation,
+    Violation,
+)
+from repro.histories.model import OpKind, Transaction
+from repro.util.sizeof import deep_sizeof
+from repro.util.sortedmap import SortedMap
+
+__all__ = ["AionSer"]
+
+
+class AionSer:
+    """Online SER checker over key-value histories."""
+
+    def __init__(
+        self,
+        config: Optional[AionConfig] = None,
+        *,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.config = config or AionConfig()
+        self._clock = clock if clock is not None else time.monotonic
+        self._frontier = VersionedFrontier()
+        self._ext_reads = ExtReadIndex()
+        self._sessions = SessionTracker(mode="ser")
+        self._ext = ExtStatusTracker(
+            timeout=self.config.timeout,
+            on_violation=self._report_ext_violation,
+            on_finalized=self._drop_finalized_read,
+        )
+        self._result = CheckResult()
+        self._fresh: List[Violation] = []
+        self._resident: dict[int, Transaction] = {}
+        self._resident_by_cts: SortedMap = SortedMap()
+        self._spill: Optional[SpillStore] = None
+        self._collected_upto: Optional[int] = None
+        self.processed = 0
+
+    # ------------------------------------------------------------------
+
+    def receive(self, txn: Transaction) -> None:
+        """Process one incoming transaction for online SER checking."""
+        now = self._clock()
+        self._ext.advance_to(now)
+
+        if txn.start_ts > txn.commit_ts:
+            self._report(
+                TimestampOrderViolation(
+                    axiom=Axiom.TS_ORDER,
+                    tid=txn.tid,
+                    start_ts=txn.start_ts,
+                    commit_ts=txn.commit_ts,
+                )
+            )
+            # SER checking ignores start timestamps, so the transaction is
+            # still simulated at its commit point.
+
+        for op in txn.ops:
+            if op.kind is OpKind.APPEND:
+                raise ValueError(
+                    "Aion-SER checks key-value histories online; list "
+                    "(append) histories are checked offline by Chronos-SER"
+                )
+
+        # Restore all spilled state: the re-check boundary (next version
+        # of each written key) may be spilled in a higher segment.
+        if self._collected_upto is not None and txn.commit_ts <= self._collected_upto:
+            self._reload_below(None)
+
+        violation = self._sessions.observe(txn)
+        if violation is not None:
+            self._report(violation)
+
+        tid = txn.tid
+        snapshot_ts = txn.commit_ts
+
+        writes = simulate_transaction_ops(
+            txn,
+            lambda key: self._predecessor_value(key, snapshot_ts),
+            lambda key, exp, act: None,  # EXT handled with tracking below
+            lambda key, exp, act: self._report(
+                IntViolation(axiom=Axiom.INT, tid=tid, key=key, expected=exp, actual=act)
+            ),
+        )
+        for key, op in txn.external_reads.items():
+            expected = self._predecessor_value(key, snapshot_ts)
+            self._ext.track(
+                tid, key, snapshot_ts, op.value, ok=values_match(expected, op.value),
+                expected=expected, now=now,
+            )
+            self._ext_reads.add(key, snapshot_ts, tid, op.value)
+        self._ext.arm_timer(tid, now)
+
+        for key, value in writes.items():
+            nxt = self._frontier.next_after(key, txn.commit_ts)
+            next_ts = nxt[0] if nxt is not None else None
+            self._frontier.insert(key, txn.commit_ts, value, tid)
+            for _, reader_tid, actual in self._ext_reads.affected_by(
+                key, txn.commit_ts, next_ts, upper_inclusive=True
+            ):
+                if reader_tid == tid:
+                    continue  # a writer never observes its own version
+                self._ext.reevaluate(reader_tid, key, actual == value, value, now)
+
+        self._resident[tid] = txn
+        self._resident_by_cts[(txn.commit_ts, tid)] = tid
+        self.processed += 1
+
+    # ------------------------------------------------------------------
+
+    def poll(self) -> List[Violation]:
+        """Drain violations reported since the previous poll."""
+        self._ext.advance_to(self._clock())
+        fresh, self._fresh = self._fresh, []
+        return fresh
+
+    def finalize(self) -> CheckResult:
+        """Force-finalize all pending EXT verdicts and return the result."""
+        self._ext.flush()
+        return self._result
+
+    @property
+    def result(self) -> CheckResult:
+        return self._result
+
+    @property
+    def flipflop_stats(self) -> FlipFlopStats:
+        return self._ext.stats
+
+    @property
+    def resident_txn_count(self) -> int:
+        return len(self._resident)
+
+    @property
+    def spill_store(self) -> Optional[SpillStore]:
+        return self._spill
+
+    def estimated_bytes(self) -> int:
+        """Deep-size estimate of the checker's live structures."""
+        return deep_sizeof((self._frontier, self._ext_reads, self._resident, self._ext))
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+
+    def gc_safe_ts(self) -> Optional[int]:
+        """Default collection watermark: everything currently resident.
+
+        See :meth:`repro.core.aion.Aion.gc_safe_ts` — the same
+        keep-newest / reload-on-demand argument applies without the
+        interval index."""
+        if not self._resident_by_cts:
+            return None
+        (max_cts, _), _ = self._resident_by_cts.max_item()
+        return max_cts
+
+    def suggest_gc_ts(self, keep_recent: int = 2000) -> Optional[int]:
+        """Watermark sparing the newest residents (see Aion's variant)."""
+        excess = len(self._resident_by_cts) - keep_recent
+        if excess <= 0:
+            return None
+        for index, ((cts, _tid), _) in enumerate(self._resident_by_cts.items()):
+            if index == excess - 1:
+                return cts
+        return None
+
+    def collect_below(self, ts: Optional[int] = None) -> GcReport:
+        """Transfer structures with timestamps <= ``ts`` to disk."""
+        t0 = time.perf_counter()
+        safe = self.gc_safe_ts()
+        if safe is None:
+            return GcReport(ts if ts is not None else -1, -1, 0, 0, 0, 0.0)
+        effective = safe if ts is None else min(ts, safe)
+
+        frontier_segment = self._frontier.evict_below(effective)
+        evicted_txns: List[Transaction] = []
+        for (cts, tid), _ in self._resident_by_cts.pop_below((effective, _TID_MAX)):
+            txn = self._resident.pop(tid, None)
+            if txn is not None:
+                evicted_txns.append(txn)
+
+        n_versions = sum(len(v) for v in frontier_segment.values())
+        if frontier_segment or evicted_txns:
+            if self._spill is None:
+                self._spill = SpillStore(self.config.spill_dir)
+            from repro.histories.serialization import txn_to_dict
+
+            content_min = effective
+            for versions in frontier_segment.values():
+                for cts, _value, _tid in versions:
+                    if cts < content_min:
+                        content_min = cts
+            for txn in evicted_txns:
+                if txn.start_ts < content_min:
+                    content_min = txn.start_ts
+            self._spill.spill(
+                content_min,
+                effective,
+                {
+                    "frontier": {k: v for k, v in frontier_segment.items()},
+                    "txns": [txn_to_dict(t) for t in evicted_txns],
+                },
+                n_items=n_versions + len(evicted_txns),
+            )
+        if self._collected_upto is None or effective > self._collected_upto:
+            self._collected_upto = effective
+        return GcReport(
+            requested_ts=ts if ts is not None else safe,
+            effective_ts=effective,
+            evicted_versions=n_versions,
+            evicted_intervals=0,
+            evicted_txns=len(evicted_txns),
+            seconds=time.perf_counter() - t0,
+        )
+
+    def close(self) -> None:
+        if self._spill is not None:
+            self._spill.close()
+            self._spill = None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _predecessor_value(self, key: str, commit_ts: int) -> Any:
+        version = self._frontier.latest_before(key, commit_ts)
+        # A strict floor below the collected boundary may be stale or
+        # absent while newer spilled versions exist; reload in that case.
+        if (
+            self._spill is not None
+            and self._collected_upto is not None
+            and commit_ts <= self._collected_upto
+        ):
+            spilled_min = self._spill.min_spilled_ts()
+            if spilled_min is not None and spilled_min < commit_ts:
+                self._reload_below(commit_ts)
+                version = self._frontier.latest_before(key, commit_ts)
+        return BOTTOM if version is None else version[1]
+
+    def _reload_below(self, ts: Optional[int]) -> None:
+        """Reload spilled segments overlapping [0, ts] (None = all)."""
+        if self._spill is None:
+            return
+        for payload in self._spill.reload_overlapping(0, ts):
+            self._frontier.merge(
+                {k: [tuple(v) for v in versions] for k, versions in payload["frontier"].items()}
+            )
+
+    def _report(self, violation: Violation) -> None:
+        self._result.add(violation)
+        self._fresh.append(violation)
+
+    def _report_ext_violation(self, verdict: ExtVerdict) -> None:
+        self._report(
+            ExtViolation(
+                axiom=Axiom.EXT,
+                tid=verdict.tid,
+                key=verdict.key,
+                expected=verdict.expected,
+                actual=verdict.actual,
+            )
+        )
+
+    def _drop_finalized_read(self, verdict: ExtVerdict) -> None:
+        self._ext_reads.remove(verdict.key, verdict.snapshot_ts)

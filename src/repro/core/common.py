@@ -1,0 +1,168 @@
+"""Shared pieces of the timestamp-based checkers.
+
+- :data:`BOTTOM` — the artificial value ``⊥v`` that no client can read
+  (§II: "we assume an artificial value ⊥v ∉ V").
+- :class:`SessionTracker` — the ``last_sno`` / ``last_cts`` bookkeeping of
+  the SESSION axiom, shared by all four checkers.
+- :func:`simulate_transaction_ops` — one program-order pass over a
+  transaction's operations implementing the INT / EXT rules for both
+  register (key-value) and list data, returning the *resolved* final
+  writes (for appends, the full list value as of the transaction's
+  snapshot), which is what the frontier must be advanced with.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.histories.model import OpKind, Transaction
+from repro.core.violations import Axiom, SessionViolation
+
+__all__ = ["BOTTOM", "SessionTracker", "simulate_transaction_ops", "values_match"]
+
+
+class _Bottom:
+    """Singleton for the unreadable initial value ⊥v."""
+
+    __slots__ = ()
+    _instance: Optional["_Bottom"] = None
+
+    def __new__(cls) -> "_Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+
+BOTTOM = _Bottom()
+
+#: Timestamp smaller than every real timestamp (``⊥ts`` in Algorithm 2).
+BOTTOM_TS = -1
+
+
+def values_match(expected: Any, actual: Any) -> bool:
+    """Compare a snapshot value with a client-observed read value.
+
+    Clients cannot observe ⊥v directly; a read of a never-written key
+    surfaces as ``None`` in the history (an absent row / empty result
+    set), so ``None`` matches :data:`BOTTOM`.  Everything else compares
+    by equality.
+    """
+    if expected is BOTTOM:
+        return actual is None
+    return expected == actual
+
+
+class SessionTracker:
+    """Tracks per-session progress for the SESSION axiom.
+
+    ``mode='si'`` applies Algorithm 2 line 7: a transaction must carry the
+    next sequence number of its session and must *start* no earlier than
+    its predecessor committed.  ``mode='ser'`` ignores start timestamps
+    (§VI-A) and instead requires the session's commit timestamps to be
+    increasing, i.e. the serial commit order respects the session order.
+    """
+
+    __slots__ = ("_mode", "_last_sno", "_last_cts")
+
+    def __init__(self, mode: str = "si") -> None:
+        if mode not in ("si", "ser"):
+            raise ValueError(f"unknown session mode {mode!r}")
+        self._mode = mode
+        self._last_sno: Dict[int, int] = {}
+        self._last_cts: Dict[int, int] = {}
+
+    def observe(self, txn: Transaction) -> Optional[SessionViolation]:
+        """Record ``txn`` as its session's latest; return a violation if any."""
+        sid = txn.sid
+        expected_sno = self._last_sno.get(sid, -1) + 1
+        last_cts = self._last_cts.get(sid, BOTTOM_TS)
+        if self._mode == "si":
+            bad = txn.sno != expected_sno or txn.start_ts < last_cts
+        else:
+            bad = txn.sno != expected_sno or txn.commit_ts < last_cts
+        self._last_sno[sid] = txn.sno
+        self._last_cts[sid] = txn.commit_ts
+        if bad:
+            return SessionViolation(
+                axiom=Axiom.SESSION,
+                tid=txn.tid,
+                sid=sid,
+                expected_sno=expected_sno,
+                actual_sno=txn.sno,
+                start_ts=txn.start_ts if self._mode == "si" else txn.commit_ts,
+                last_commit_ts=last_cts,
+            )
+        return None
+
+
+def simulate_transaction_ops(
+    txn: Transaction,
+    snapshot_of: Callable[[str], Any],
+    on_ext_mismatch: Callable[[str, Any, Any], None],
+    on_int_mismatch: Callable[[str, Any, Any], None],
+) -> Dict[str, Any]:
+    """Replay ``txn``'s operations in program order against a snapshot.
+
+    ``snapshot_of(key)`` must return the committed value visible to the
+    transaction (or :data:`BOTTOM` for a never-written key).  The two
+    callbacks receive ``(key, expected, actual)`` for EXT and INT
+    mismatches respectively; checking continues past mismatches, per the
+    paper's report-and-continue policy.
+
+    Returns the resolved final write per key — for plain writes the last
+    written value, for appends the full list value built on top of the
+    snapshot.  This is the value the committed frontier advances to.
+    """
+    local: Dict[str, Any] = {}
+    resolved: Dict[str, Any] = {}
+    for op in txn.ops:
+        key = op.key
+        if op.kind is OpKind.WRITE:
+            local[key] = op.value
+            resolved[key] = op.value
+        elif op.kind is OpKind.APPEND:
+            base = local.get(key, _MISSING)
+            if base is _MISSING:
+                base = snapshot_of(key)
+                if base is BOTTOM:
+                    base = ()
+            if not isinstance(base, tuple):
+                base = (base,)
+            new_list = base + (op.value,)
+            local[key] = new_list
+            resolved[key] = new_list
+        elif op.kind is OpKind.READ:
+            if key in local:
+                if local[key] != op.value:
+                    on_int_mismatch(key, local[key], op.value)
+            else:
+                expected = snapshot_of(key)
+                if not values_match(expected, op.value):
+                    on_ext_mismatch(key, expected, op.value)
+            local[key] = op.value
+        else:  # OpKind.READ_LIST
+            actual = op.value
+            if key in local:
+                if local[key] != actual:
+                    on_int_mismatch(key, local[key], actual)
+            else:
+                expected = snapshot_of(key)
+                if expected is BOTTOM:
+                    expected = ()
+                if expected != actual:
+                    on_ext_mismatch(key, expected, actual)
+            local[key] = actual
+    return resolved
+
+
+class _Missing:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<missing>"
+
+
+_MISSING = _Missing()

@@ -1,0 +1,227 @@
+"""EXT verdict tracking: flip-flops, timeouts, rectify times.
+
+Asynchrony makes the EXT verdict of a transaction *unstable* (§III-C):
+when a transaction is collected, the writer its read observed may simply
+not have arrived yet.  Aion therefore keeps a tentative per-(transaction,
+key) verdict — ``T.EXT`` in Algorithm 3 — re-evaluates it as out-of-order
+transactions arrive, and only *reports* a violation when the
+transaction's timer (5 s in the paper) expires with the verdict still ⊥.
+
+This module tracks those verdicts together with the quantities §VI-C
+studies:
+
+- **flip-flops** — the number of ⊤/⊥ switches per (txn, key) pair
+  (Fig 13a, 14, 17–19);
+- **rectify times** — how long a tentative false positive/negative stood
+  before being corrected (Fig 13b, 20, 21).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+__all__ = ["ExtVerdict", "ExtStatusTracker", "FlipFlopStats"]
+
+
+@dataclass
+class ExtVerdict:
+    """Tentative EXT verdict of one external read (one (txn, key) pair)."""
+
+    tid: int
+    key: str
+    snapshot_ts: int
+    actual: Any
+    ok: bool
+    expected: Any
+    first_seen: float
+    last_change: float
+    flips: int = 0
+    finalized: bool = False
+    #: Set when the verdict first became wrong; cleared when corrected.
+    wrong_since: Optional[float] = None
+
+    def update(self, ok: bool, expected: Any, now: float) -> Optional[float]:
+        """Apply a re-evaluation; returns the rectify time when a wrong
+        tentative verdict is corrected to ⊤, else None."""
+        rectify: Optional[float] = None
+        if ok != self.ok:
+            self.flips += 1
+            self.last_change = now
+            if ok and self.wrong_since is not None:
+                rectify = now - self.wrong_since
+                self.wrong_since = None
+            elif not ok:
+                self.wrong_since = now
+        self.ok = ok
+        self.expected = expected
+        return rectify
+
+
+@dataclass
+class FlipFlopStats:
+    """Aggregates for the flip-flop figures."""
+
+    #: flip count -> number of (txn, key) pairs with that many flips.
+    flips_per_pair: Dict[int, int] = field(default_factory=dict)
+    #: tids that experienced at least one flip.
+    flipped_tids: Set[int] = field(default_factory=set)
+    #: rectify times in (virtual) seconds.
+    rectify_times: List[float] = field(default_factory=list)
+    n_pairs: int = 0
+    n_finalized: int = 0
+    n_final_violations: int = 0
+
+    def flip_histogram(self, buckets: Tuple[int, ...] = (1, 2, 3)) -> Dict[str, int]:
+        """Histogram of flip counts as in Fig 13a: 1, 2, 3, 4+ buckets."""
+        histogram = {str(b): 0 for b in buckets}
+        histogram[f"{buckets[-1] + 1}+"] = 0
+        for flips, count in self.flips_per_pair.items():
+            if flips <= 0:
+                continue
+            if flips <= buckets[-1]:
+                histogram[str(flips)] += count
+            else:
+                histogram[f"{buckets[-1] + 1}+"] += count
+        return histogram
+
+    def rectify_histogram(
+        self, edges: Tuple[float, ...] = (0.001, 0.002, 0.010, 0.099, 1.0)
+    ) -> Dict[str, int]:
+        """Histogram of rectify times, bucketed like Fig 13b (seconds)."""
+        labels = ["0-1ms", "1-2ms", "2-10ms", "10-99ms", "100-999ms", "1000+ms"]
+        counts = [0] * len(labels)
+        for value in self.rectify_times:
+            if value < edges[0]:
+                counts[0] += 1
+            elif value < edges[1]:
+                counts[1] += 1
+            elif value < edges[2]:
+                counts[2] += 1
+            elif value < edges[3]:
+                counts[3] += 1
+            elif value < edges[4]:
+                counts[4] += 1
+            else:
+                counts[5] += 1
+        return dict(zip(labels, counts))
+
+
+class ExtStatusTracker:
+    """All live EXT verdicts plus the timeout queue.
+
+    ``clock`` supplies the current (possibly virtual) time; each tracked
+    transaction gets one deadline ``arrival + timeout``.  When
+    :meth:`advance_to` passes a deadline, every verdict of that
+    transaction is finalized: still-⊥ verdicts are reported through the
+    ``on_violation`` callback, and the (txn, key) pair stops being
+    re-checked (Algorithm 3, TIMEOUT / lines 40–41).
+    """
+
+    def __init__(
+        self,
+        *,
+        timeout: float,
+        on_violation: Callable[[ExtVerdict], None],
+        on_finalized: Optional[Callable[[ExtVerdict], None]] = None,
+    ) -> None:
+        self._timeout = timeout
+        self._on_violation = on_violation
+        self._on_finalized = on_finalized
+        self._verdicts: Dict[Tuple[int, str], ExtVerdict] = {}
+        self._deadlines: List[Tuple[float, int]] = []
+        self._txn_pairs: Dict[int, List[Tuple[int, str]]] = {}
+        self._timed_out: Set[int] = set()
+        self.stats = FlipFlopStats()
+
+    def __len__(self) -> int:
+        return len(self._verdicts)
+
+    def track(self, tid: int, key: str, snapshot_ts: int, actual: Any, ok: bool, expected: Any, now: float) -> ExtVerdict:
+        """Register the initial verdict for one external read."""
+        verdict = ExtVerdict(
+            tid=tid,
+            key=key,
+            snapshot_ts=snapshot_ts,
+            actual=actual,
+            ok=ok,
+            expected=expected,
+            first_seen=now,
+            last_change=now,
+            wrong_since=None if ok else now,
+        )
+        self._verdicts[(tid, key)] = verdict
+        self._txn_pairs.setdefault(tid, []).append((tid, key))
+        self.stats.n_pairs += 1
+        return verdict
+
+    def arm_timer(self, tid: int, now: float) -> None:
+        """Set the transaction's EXT re-checking deadline (line 3:3)."""
+        heapq.heappush(self._deadlines, (now + self._timeout, tid))
+
+    def reevaluate(self, tid: int, key: str, ok: bool, expected: Any, now: float) -> Optional[ExtVerdict]:
+        """Apply a re-check result; no-op for finalized or unknown pairs."""
+        verdict = self._verdicts.get((tid, key))
+        if verdict is None or verdict.finalized:
+            return None
+        rectify = verdict.update(ok, expected, now)
+        if rectify is not None:
+            self.stats.rectify_times.append(rectify)
+        if verdict.flips > 0:
+            self.stats.flipped_tids.add(tid)
+        return verdict
+
+    def is_timed_out(self, tid: int) -> bool:
+        return tid in self._timed_out
+
+    def advance_to(self, now: float) -> List[ExtVerdict]:
+        """Finalize every transaction whose deadline has passed.
+
+        Returns the verdicts finalized in this call (both ⊤ and ⊥); ⊥
+        verdicts are additionally delivered to ``on_violation``.
+        """
+        finalized: List[ExtVerdict] = []
+        while self._deadlines and self._deadlines[0][0] <= now:
+            _, tid = heapq.heappop(self._deadlines)
+            if tid in self._timed_out:
+                continue
+            self._timed_out.add(tid)
+            for pair in self._txn_pairs.pop(tid, []):
+                verdict = self._verdicts.pop(pair, None)
+                if verdict is None or verdict.finalized:
+                    continue
+                verdict.finalized = True
+                self._record_final(verdict)
+                finalized.append(verdict)
+                if not verdict.ok:
+                    self.stats.n_final_violations += 1
+                    self._on_violation(verdict)
+                if self._on_finalized is not None:
+                    self._on_finalized(verdict)
+        return finalized
+
+    def flush(self) -> List[ExtVerdict]:
+        """Finalize everything regardless of deadlines (end of stream)."""
+        return self.advance_to(float("inf"))
+
+    def pending_pairs(self) -> int:
+        return len(self._verdicts)
+
+    def min_pending_snapshot_ts(self) -> Optional[int]:
+        """Smallest snapshot point among unfinalized reads.
+
+        Garbage collection must not evict frontier versions at or above
+        this point minus one, or pending re-checks would consult spilled
+        state on every arrival.
+        """
+        if not self._verdicts:
+            return None
+        return min(v.snapshot_ts for v in self._verdicts.values())
+
+    def _record_final(self, verdict: ExtVerdict) -> None:
+        self.stats.n_finalized += 1
+        if verdict.flips > 0:
+            self.stats.flips_per_pair[verdict.flips] = (
+                self.stats.flips_per_pair.get(verdict.flips, 0) + 1
+            )

@@ -1,0 +1,247 @@
+"""Timestamp-versioned structures backing Aion (Algorithm 3).
+
+The paper extends Chronos's ``frontier`` and ``ongoing`` maps to
+``frontier_ts`` and ``ongoing_ts``, "versioned by timestamps and
+support[ing] timestamp-based search, returning the latest version before a
+given timestamp".  Materializing a full map image per timestamp would be
+quadratic; these classes store the equivalent information *per key*:
+
+- :class:`VersionedFrontier` — for every key, a sorted map
+  ``commit_ts -> (value, tid)``.  ``frontier_ts[ts][k]`` of the paper is
+  exactly :meth:`VersionedFrontier.latest_at` (greatest version with
+  ``commit_ts <= ts``); the strict variant serves Aion-SER.
+- :class:`WriterIntervals` — for every key, the lifetimes
+  ``[start_ts, commit_ts]`` of its writers; ``ongoing_ts[ts][k]`` is the
+  set of intervals containing ``ts``, and NOCONFLICT re-checking (step ②)
+  is an interval-overlap query.
+- :class:`ExtReadIndex` — for every key, the external reads indexed by
+  their snapshot point, so EXT re-checking (step ③) touches only reads
+  whose visible version actually changed.
+
+All three support eviction below a GC-safe timestamp and re-merging of
+reloaded segments (the ``GARBAGE COLLECT`` / reload-on-demand protocol).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.util.intervals import Interval, IntervalIndex
+from repro.util.sortedmap import SortedMap
+
+__all__ = ["FrontierVersion", "VersionedFrontier", "WriterIntervals", "ExtReadIndex"]
+
+FrontierVersion = Tuple[int, Any, int]  # (commit_ts, value, writer tid)
+
+
+class VersionedFrontier:
+    """Per-key committed versions ordered by commit timestamp."""
+
+    __slots__ = ("_by_key", "_n_versions")
+
+    def __init__(self) -> None:
+        self._by_key: Dict[str, SortedMap] = {}
+        self._n_versions = 0
+
+    def __len__(self) -> int:
+        return self._n_versions
+
+    def insert(self, key: str, commit_ts: int, value: Any, tid: int) -> None:
+        """Record that ``tid`` committed ``value`` for ``key`` at ``commit_ts``."""
+        versions = self._by_key.get(key)
+        if versions is None:
+            versions = self._by_key[key] = SortedMap()
+        if commit_ts not in versions:
+            self._n_versions += 1
+        versions[commit_ts] = (value, tid)
+
+    def latest_at(self, key: str, ts: int) -> Optional[FrontierVersion]:
+        """Greatest version with ``commit_ts <= ts`` (SI visibility, Def. 6)."""
+        versions = self._by_key.get(key)
+        if versions is None:
+            return None
+        item = versions.floor_item(ts)
+        if item is None:
+            return None
+        commit_ts, (value, tid) = item
+        return (commit_ts, value, tid)
+
+    def latest_before(self, key: str, ts: int) -> Optional[FrontierVersion]:
+        """Greatest version with ``commit_ts < ts`` (serial predecessor)."""
+        versions = self._by_key.get(key)
+        if versions is None:
+            return None
+        item = versions.lower_item(ts)
+        if item is None:
+            return None
+        commit_ts, (value, tid) = item
+        return (commit_ts, value, tid)
+
+    def next_after(self, key: str, ts: int) -> Optional[FrontierVersion]:
+        """Least version with ``commit_ts > ts`` (the overwriting version)."""
+        versions = self._by_key.get(key)
+        if versions is None:
+            return None
+        item = versions.higher_item(ts)
+        if item is None:
+            return None
+        commit_ts, (value, tid) = item
+        return (commit_ts, value, tid)
+
+    def evict_below(self, ts: int) -> Dict[str, List[Tuple[int, Any, int]]]:
+        """Remove versions with ``commit_ts <= ts``, keeping one per key.
+
+        The newest evictable version of each key is retained: it is still
+        the visible version for future snapshots above ``ts``, so dropping
+        it would corrupt floor queries (the paper's GC is "conservative"
+        for the same reason).  Returns the evicted versions grouped by key
+        for spilling.
+        """
+        evicted: Dict[str, List[Tuple[int, Any, int]]] = {}
+        for key, versions in self._by_key.items():
+            removed = versions.pop_below(ts, inclusive=True)
+            if not removed:
+                continue
+            keep_ts, keep_payload = removed[-1]
+            versions[keep_ts] = keep_payload
+            removed = removed[:-1]
+            if removed:
+                evicted[key] = [(cts, value, tid) for cts, (value, tid) in removed]
+                self._n_versions -= len(removed)
+        return evicted
+
+    def merge(self, segment: Dict[str, List[Tuple[int, Any, int]]]) -> None:
+        """Re-insert previously evicted versions (reload-on-demand)."""
+        for key, versions in segment.items():
+            for commit_ts, value, tid in versions:
+                self.insert(key, commit_ts, value, tid)
+
+    def min_retained_ts(self) -> Optional[int]:
+        """Smallest version timestamp still in memory, across all keys."""
+        smallest: Optional[int] = None
+        for versions in self._by_key.values():
+            if len(versions) == 0:
+                continue
+            ts, _ = versions.min_item()
+            if smallest is None or ts < smallest:
+                smallest = ts
+        return smallest
+
+
+class WriterIntervals:
+    """Per-key interval index over writer lifetimes (``ongoing_ts``)."""
+
+    __slots__ = ("_by_key", "_n_intervals")
+
+    def __init__(self) -> None:
+        self._by_key: Dict[str, IntervalIndex] = {}
+        self._n_intervals = 0
+
+    def __len__(self) -> int:
+        return self._n_intervals
+
+    def add(self, key: str, start_ts: int, commit_ts: int, tid: int) -> None:
+        index = self._by_key.get(key)
+        if index is None:
+            index = self._by_key[key] = IntervalIndex()
+        index.add(Interval(start_ts, commit_ts, tid))
+        self._n_intervals += 1
+
+    def overlapping(self, key: str, start_ts: int, commit_ts: int, *, exclude_tid: int) -> List[Interval]:
+        """All writer intervals of ``key`` overlapping ``[start_ts, commit_ts]``."""
+        index = self._by_key.get(key)
+        if index is None:
+            return []
+        hits = index.overlapping(Interval(start_ts, commit_ts))
+        return [hit for hit in hits if hit.owner != exclude_tid]
+
+    def evict_below(self, ts: int) -> Dict[str, List[Tuple[int, int, int]]]:
+        """Remove intervals ending before ``ts`` (no future overlap possible)."""
+        evicted: Dict[str, List[Tuple[int, int, int]]] = {}
+        for key, index in self._by_key.items():
+            removed = index.pop_ending_before(ts)
+            if removed:
+                evicted[key] = [(iv.start, iv.end, iv.owner) for iv in removed]
+                self._n_intervals -= len(removed)
+        return evicted
+
+    def merge(self, segment: Dict[str, List[Tuple[int, int, int]]]) -> None:
+        for key, intervals in segment.items():
+            for start_ts, commit_ts, tid in intervals:
+                self.add(key, start_ts, commit_ts, tid)
+
+
+class ExtReadIndex:
+    """Per-key external reads indexed by snapshot point.
+
+    Each entry is ``snapshot_ts -> (tid, actual_value)``.  For Aion (SI)
+    the snapshot point is the reader's ``start_ts``; for Aion-SER it is
+    the reader's ``commit_ts``.  Entries are removed when the read's EXT
+    verdict is finalized by timeout — finalized reads are never re-checked
+    (Algorithm 3, lines 40–41), which keeps the index small.
+    """
+
+    __slots__ = ("_by_key", "_n_reads")
+
+    def __init__(self) -> None:
+        self._by_key: Dict[str, SortedMap] = {}
+        self._n_reads = 0
+
+    def __len__(self) -> int:
+        return self._n_reads
+
+    def add(self, key: str, snapshot_ts: int, tid: int, actual: Any) -> None:
+        index = self._by_key.get(key)
+        if index is None:
+            index = self._by_key[key] = SortedMap()
+        if snapshot_ts not in index:
+            self._n_reads += 1
+        index[snapshot_ts] = (tid, actual)
+
+    def remove(self, key: str, snapshot_ts: int) -> None:
+        index = self._by_key.get(key)
+        if index is None:
+            return
+        try:
+            del index[snapshot_ts]
+        except KeyError:
+            return
+        self._n_reads -= 1
+
+    def affected_by(
+        self,
+        key: str,
+        version_ts: int,
+        next_version_ts: Optional[int],
+        *,
+        upper_inclusive: bool = False,
+    ) -> Iterator[Tuple[int, int, Any]]:
+        """Reads whose visible version becomes the one at ``version_ts``.
+
+        Yields ``(snapshot_ts, tid, actual_value)`` for snapshot points in
+        ``[version_ts, next_version_ts)`` — or ``(version_ts,
+        next_version_ts]`` with ``upper_inclusive=True``, the bound needed
+        by Aion-SER where a reader at exactly the next version's commit
+        timestamp is that version's own writer and sees the new version.
+        """
+        index = self._by_key.get(key)
+        if index is None:
+            return
+        for snapshot_ts, (tid, actual) in index.irange(
+            version_ts, next_version_ts, inclusive=(True, upper_inclusive)
+        ):
+            yield snapshot_ts, tid, actual
+
+    def evict_below(self, ts: int) -> Dict[str, List[Tuple[int, int, Any]]]:
+        evicted: Dict[str, List[Tuple[int, int, Any]]] = {}
+        for key, index in self._by_key.items():
+            removed = index.pop_below(ts, inclusive=True)
+            if removed:
+                evicted[key] = [(sts, tid, actual) for sts, (tid, actual) in removed]
+                self._n_reads -= len(removed)
+        return evicted
+
+    def merge(self, segment: Dict[str, List[Tuple[int, int, Any]]]) -> None:
+        for key, reads in segment.items():
+            for snapshot_ts, tid, actual in reads:
+                self.add(key, snapshot_ts, tid, actual)

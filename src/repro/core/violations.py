@@ -1,0 +1,183 @@
+"""Violation records and check results.
+
+The axiomatic semantics of SI (Definition 4) decomposes into the SESSION,
+INT, EXT, PREFIX and NOCONFLICT axioms; with timestamp-based VIS/AR
+(Definitions 5 and 6) PREFIX holds by construction, so the checkers report
+violations of the remaining four, plus violations of Eq. 1
+(``start_ts <= commit_ts``).
+
+Each violation is a frozen record carrying enough context to debug the
+offending transaction.  :class:`CheckResult` aggregates them; checkers
+never stop at the first violation (§III-B2), so a result may contain many.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+__all__ = [
+    "Axiom",
+    "Violation",
+    "SessionViolation",
+    "IntViolation",
+    "ExtViolation",
+    "ConflictViolation",
+    "TimestampOrderViolation",
+    "CheckResult",
+]
+
+
+class Axiom(enum.Enum):
+    """The checkable axioms (plus the Eq. 1 timestamp sanity rule)."""
+
+    SESSION = "SESSION"
+    INT = "INT"
+    EXT = "EXT"
+    NOCONFLICT = "NOCONFLICT"
+    TS_ORDER = "TS_ORDER"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """Base class: an axiom violated by a specific transaction."""
+
+    axiom: Axiom
+    tid: int
+
+    def describe(self) -> str:
+        return f"{self.axiom.value} violated by transaction {self.tid}"
+
+
+@dataclass(frozen=True)
+class SessionViolation(Violation):
+    """SESSION: a transaction does not follow its session predecessor.
+
+    Either its sequence number is not ``last_sno + 1`` or it started
+    before its predecessor committed (Algorithm 2, line 7).
+    """
+
+    sid: int = -1
+    expected_sno: int = -1
+    actual_sno: int = -1
+    start_ts: int = -1
+    last_commit_ts: int = -1
+
+    def describe(self) -> str:
+        return (
+            f"SESSION violated by txn {self.tid} (session {self.sid}): "
+            f"expected sno {self.expected_sno}, got {self.actual_sno}; "
+            f"start_ts {self.start_ts} vs predecessor commit_ts {self.last_commit_ts}"
+        )
+
+
+@dataclass(frozen=True)
+class IntViolation(Violation):
+    """INT: an internal read disagrees with the transaction's own state."""
+
+    key: str = ""
+    expected: Any = None
+    actual: Any = None
+
+    def describe(self) -> str:
+        return (
+            f"INT violated by txn {self.tid} on key {self.key!r}: "
+            f"read {self.actual!r}, transaction-local value is {self.expected!r}"
+        )
+
+
+@dataclass(frozen=True)
+class ExtViolation(Violation):
+    """EXT: an external read disagrees with the committed frontier."""
+
+    key: str = ""
+    expected: Any = None
+    actual: Any = None
+
+    def describe(self) -> str:
+        return (
+            f"EXT violated by txn {self.tid} on key {self.key!r}: "
+            f"read {self.actual!r}, snapshot value is {self.expected!r}"
+        )
+
+
+@dataclass(frozen=True)
+class ConflictViolation(Violation):
+    """NOCONFLICT: concurrent transactions wrote the same key.
+
+    Reported once, attributed to the transaction with the smaller commit
+    timestamp (Algorithm 2 commit handling / Algorithm 3 step ②).
+    """
+
+    key: str = ""
+    conflicting_tids: FrozenSet[int] = frozenset()
+
+    def describe(self) -> str:
+        others = ", ".join(str(t) for t in sorted(self.conflicting_tids))
+        return (
+            f"NOCONFLICT violated: txn {self.tid} conflicts with "
+            f"{{{others}}} on key {self.key!r}"
+        )
+
+
+@dataclass(frozen=True)
+class TimestampOrderViolation(Violation):
+    """Eq. 1 violated: ``start_ts > commit_ts``."""
+
+    start_ts: int = -1
+    commit_ts: int = -1
+
+    def describe(self) -> str:
+        return (
+            f"timestamp order violated by txn {self.tid}: "
+            f"start_ts {self.start_ts} > commit_ts {self.commit_ts}"
+        )
+
+
+@dataclass
+class CheckResult:
+    """Aggregated outcome of checking one history.
+
+    ``violations`` preserves report order (for offline checkers, the
+    simulation order; for online checkers, finalization order).
+    """
+
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def is_valid(self) -> bool:
+        """True when no violation of any axiom was found."""
+        return not self.violations
+
+    def add(self, violation: Violation) -> None:
+        self.violations.append(violation)
+
+    def extend(self, other: "CheckResult") -> None:
+        self.violations.extend(other.violations)
+
+    def by_axiom(self, axiom: Axiom) -> List[Violation]:
+        """All violations of one axiom, in report order."""
+        return [v for v in self.violations if v.axiom is axiom]
+
+    def counts(self) -> Dict[Axiom, int]:
+        """Violation counts per axiom (axioms with zero omitted)."""
+        totals: Dict[Axiom, int] = {}
+        for violation in self.violations:
+            totals[violation.axiom] = totals.get(violation.axiom, 0) + 1
+        return totals
+
+    def violating_tids(self) -> FrozenSet[int]:
+        """The set of transactions named as violators."""
+        return frozenset(v.tid for v in self.violations)
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        if self.is_valid:
+            return "OK: no isolation violations"
+        parts = ", ".join(f"{axiom.value}={count}" for axiom, count in sorted(
+            self.counts().items(), key=lambda item: item[0].value))
+        return f"VIOLATIONS ({len(self.violations)} total): {parts}"
+
+    def __repr__(self) -> str:
+        return f"CheckResult({self.summary()})"

@@ -1,0 +1,41 @@
+"""A simulated transactional MVCC database (the paper's substrate).
+
+The paper evaluates against TiDB, YugabyteDB and Dgraph; the checkers,
+however, consume nothing but the history extracted from the database's
+logs.  This package supplies a faithful in-process substitute:
+
+- :mod:`repro.db.oracle` — timestamp oracles: a centralized strictly
+  increasing oracle (TiDB's PD / Dgraph's Zero) and a decentralized
+  hybrid-logical-clock oracle with configurable skew (YugabyteDB);
+- :mod:`repro.db.storage` — multi-version storage with snapshot reads;
+- :mod:`repro.db.engine` — the operational semantics of SI from
+  Algorithm 1 (snapshot reads as of ``start_ts``, write buffering,
+  first-committer-wins), plus a SER mode that additionally validates
+  read sets at commit so that committed executions are equivalent to the
+  serial commit-timestamp order;
+- :mod:`repro.db.cdc` — the change-data-capture log from which
+  timestamps and operations are extracted (§IV-C);
+- :mod:`repro.db.faults` — fault injection, both engine-level (clock
+  skew, disabled conflict detection) and history-level mutations with
+  ground-truth labels, used by the §V-D violation-detection experiments.
+"""
+
+from repro.db.cdc import ChangeLog
+from repro.db.engine import Database, IsolationLevel, TransactionAborted
+from repro.db.faults import FaultLabel, HistoryFaultInjector, SkewedOracle
+from repro.db.oracle import CentralizedOracle, DecentralizedOracle, HybridLogicalClock
+from repro.db.storage import MultiVersionStore
+
+__all__ = [
+    "CentralizedOracle",
+    "ChangeLog",
+    "Database",
+    "DecentralizedOracle",
+    "FaultLabel",
+    "HistoryFaultInjector",
+    "HybridLogicalClock",
+    "IsolationLevel",
+    "MultiVersionStore",
+    "SkewedOracle",
+    "TransactionAborted",
+]

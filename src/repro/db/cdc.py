@@ -1,0 +1,96 @@
+"""Change data capture: where the checkers' input comes from.
+
+§IV-C of the paper extracts transaction timestamps from TiDB's CDC
+component, YugabyteDB's write-ahead log, and Dgraph's HTTP responses.
+The simulated database emits an equivalent stream: one
+:class:`CdcRecord` per committed transaction, carrying the session
+identity, the client-visible operations (reads with the values actually
+returned), and the oracle's start/commit timestamps.
+
+Subscribers receive records synchronously at commit time — the hook the
+online collector (:mod:`repro.online.collector`) uses to tail the
+database.  :meth:`ChangeLog.wal_lines` renders the log in a textual WAL
+format, and :func:`parse_wal` reads it back; the offline "loading" stage
+measured in Fig 8/9/24 parses exactly this kind of file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Tuple
+
+from repro.histories.model import History, Operation, Transaction
+from repro.histories.serialization import txn_from_dict, txn_to_dict
+
+__all__ = ["CdcRecord", "ChangeLog", "parse_wal"]
+
+
+@dataclass(frozen=True)
+class CdcRecord:
+    """One committed transaction as captured from the database."""
+
+    tid: int
+    sid: int
+    sno: int
+    start_ts: int
+    commit_ts: int
+    ops: Tuple[Operation, ...]
+
+    def to_transaction(self) -> Transaction:
+        return Transaction(
+            tid=self.tid,
+            sid=self.sid,
+            sno=self.sno,
+            ops=self.ops,
+            start_ts=self.start_ts,
+            commit_ts=self.commit_ts,
+        )
+
+
+class ChangeLog:
+    """An append-only log of committed transactions."""
+
+    def __init__(self) -> None:
+        self._records: List[CdcRecord] = []
+        self._subscribers: List[Callable[[CdcRecord], None]] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def subscribe(self, callback: Callable[[CdcRecord], None]) -> None:
+        """Register a tailer invoked synchronously on each commit."""
+        self._subscribers.append(callback)
+
+    def emit(self, record: CdcRecord) -> None:
+        self._records.append(record)
+        for subscriber in self._subscribers:
+            subscriber(record)
+
+    def to_history(self) -> History:
+        """Materialize the captured history (commit order)."""
+        return History(record.to_transaction() for record in self._records)
+
+    def wal_lines(self) -> Iterable[str]:
+        """Render the log as text lines, one committed transaction each."""
+        import json
+
+        for record in self._records:
+            yield "COMMIT " + json.dumps(
+                txn_to_dict(record.to_transaction()), separators=(",", ":")
+            )
+
+
+def parse_wal(lines: Iterable[str]) -> History:
+    """Parse the textual WAL format back into a history."""
+    import json
+
+    txns: List[Transaction] = []
+    for line in lines:
+        line = line.strip()
+        if not line or not line.startswith("COMMIT "):
+            continue
+        txns.append(txn_from_dict(json.loads(line[len("COMMIT "):])))
+    return History(txns)

@@ -1,0 +1,291 @@
+"""Fault injection for the violation-detection experiments (§V-D).
+
+Two levels of fault are provided:
+
+- **Engine-level**: :class:`SkewedOracle` wraps a timestamp oracle and
+  occasionally shifts issued timestamps into the past, reproducing the
+  clock-skew bug class the paper found in YugabyteDB v2.17.1.0 — the
+  database still *executes* correctly in real time, but the recorded
+  timestamps no longer justify the observed values, which the
+  timestamp-based checkers flag (and black-box checkers may not).
+- **History-level**: :class:`HistoryFaultInjector` mutates a correct
+  history in targeted ways, one axiom per fault, returning ground-truth
+  :class:`FaultLabel` records so tests and benchmarks can assert that
+  each injected fault class is detected by the matching axiom.
+
+History-level injection first rescales all timestamps by a constant
+factor, opening integer gaps so timestamps can be perturbed without
+colliding; rescaling preserves order and therefore every verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import List, Optional, Tuple
+
+from repro.core.violations import Axiom
+from repro.db.oracle import TimestampOracle
+from repro.histories.model import History, INIT_TID, Operation, OpKind, Transaction
+
+__all__ = ["SkewedOracle", "FaultLabel", "HistoryFaultInjector"]
+
+
+class SkewedOracle:
+    """Wraps an oracle; with probability ``p`` shifts a timestamp back.
+
+    Inner timestamps are multiplied by ``stride`` so the timeline has
+    free slots, then a skewed timestamp lands ``1..max_skew`` inner ticks
+    in the past (re-drawn upward on collision).  Timestamps stay unique
+    but lose monotonicity, breaking the guarantee Definitions 5/6 rely
+    on — the database still executes correctly in real time, so the
+    recorded history no longer justifies the observed values.
+    """
+
+    def __init__(
+        self,
+        inner: TimestampOracle,
+        *,
+        probability: float = 0.05,
+        max_skew: int = 50,
+        stride: int = 16,
+        rng: Optional[Random] = None,
+    ) -> None:
+        if stride < 2:
+            raise ValueError("stride must be >= 2 to leave room for skew")
+        self._inner = inner
+        self._probability = probability
+        self._max_skew = max_skew
+        self._stride = stride
+        self._rng = rng if rng is not None else Random(0xC10C)
+        self._issued: set[int] = set()
+        self.n_skewed = 0
+
+    def next_ts(self, node_id: int = 0) -> int:
+        ts = self._inner.next_ts(node_id) * self._stride
+        if self._rng.random() < self._probability:
+            skew = self._rng.randint(1, self._max_skew) * self._stride
+            candidate = max(1, ts - skew)
+            while candidate in self._issued:
+                candidate += 1
+            if candidate != ts:
+                self.n_skewed += 1
+            ts = candidate
+        self._issued.add(ts)
+        return ts
+
+
+@dataclass(frozen=True)
+class FaultLabel:
+    """Ground truth for one injected fault."""
+
+    axiom: Axiom
+    tids: Tuple[int, ...]
+    key: str = ""
+
+    def describe(self) -> str:
+        return f"injected {self.axiom.value} fault on txns {self.tids} key={self.key!r}"
+
+
+class HistoryFaultInjector:
+    """Injects labelled, axiom-targeted faults into a correct history."""
+
+    #: Gap opened between consecutive timestamps by rescaling.
+    SCALE = 1000
+
+    def __init__(self, history: History, *, seed: int = 0xFA17) -> None:
+        self._rng = Random(seed)
+        self._txns: List[Transaction] = [
+            _rescale(txn, self.SCALE) for txn in history.transactions
+        ]
+        self.labels: List[FaultLabel] = []
+
+    # ------------------------------------------------------------------
+
+    def build(self) -> History:
+        """The mutated history with all requested faults applied."""
+        return History(self._txns)
+
+    def inject_ext(self) -> Optional[FaultLabel]:
+        """Corrupt one external read so it cannot match any frontier."""
+        candidates = [
+            i
+            for i, txn in enumerate(self._txns)
+            if txn.tid != INIT_TID and txn.external_reads
+        ]
+        if not candidates:
+            return None
+        index = self._rng.choice(candidates)
+        txn = self._txns[index]
+        key = self._rng.choice(sorted(txn.external_reads))
+        new_ops = []
+        corrupted = False
+        for op in txn.ops:
+            if not corrupted and op.kind is OpKind.READ and op.key == key:
+                new_ops.append(Operation(OpKind.READ, key, _poison(op.value)))
+                corrupted = True
+            elif not corrupted and op.kind is OpKind.READ_LIST and op.key == key:
+                new_ops.append(Operation(OpKind.READ_LIST, key, op.value + (_poison(0),)))
+                corrupted = True
+            else:
+                new_ops.append(op)
+        if not corrupted:
+            return None
+        self._txns[index] = _replace_ops(txn, new_ops)
+        return self._label(Axiom.EXT, (txn.tid,), key)
+
+    def inject_int(self) -> Optional[FaultLabel]:
+        """Append an internal read that contradicts the txn's own write."""
+        candidates = [
+            i for i, txn in enumerate(self._txns) if txn.tid != INIT_TID and txn.last_writes
+        ]
+        if not candidates:
+            return None
+        index = self._rng.choice(candidates)
+        txn = self._txns[index]
+        key = self._rng.choice(sorted(txn.last_writes))
+        final = txn.last_writes[key]
+        bad_read_kind = OpKind.READ_LIST if isinstance(final, tuple) else OpKind.READ
+        bad_value: object = _poison(0) if isinstance(final, tuple) else _poison(final)
+        if bad_read_kind is OpKind.READ_LIST:
+            bad_value = (bad_value,)
+        new_ops = list(txn.ops) + [Operation(bad_read_kind, key, bad_value)]
+        self._txns[index] = _replace_ops(txn, new_ops)
+        return self._label(Axiom.INT, (txn.tid,), key)
+
+    def inject_session(self) -> Optional[FaultLabel]:
+        """Swap the sequence numbers of two adjacent txns in a session."""
+        by_sid: dict[int, List[int]] = {}
+        for i, txn in enumerate(self._txns):
+            if txn.tid != INIT_TID:
+                by_sid.setdefault(txn.sid, []).append(i)
+        eligible = [ids for ids in by_sid.values() if len(ids) >= 2]
+        if not eligible:
+            return None
+        ids = self._rng.choice(eligible)
+        pos = self._rng.randrange(len(ids) - 1)
+        i, j = ids[pos], ids[pos + 1]
+        a, b = self._txns[i], self._txns[j]
+        self._txns[i] = _replace_sno(a, b.sno)
+        self._txns[j] = _replace_sno(b, a.sno)
+        return self._label(Axiom.SESSION, (a.tid, b.tid))
+
+    def inject_noconflict(self) -> Optional[FaultLabel]:
+        """Make two sequential writers of one key temporally overlap."""
+        last_writer: dict[str, int] = {}
+        pairs: List[Tuple[int, int, str]] = []
+        order = sorted(
+            range(len(self._txns)), key=lambda i: self._txns[i].commit_ts
+        )
+        for i in order:
+            txn = self._txns[i]
+            if txn.tid == INIT_TID:
+                continue
+            for key in txn.write_keys:
+                if key in last_writer:
+                    pairs.append((last_writer[key], i, key))
+                last_writer[key] = i
+        if not pairs:
+            return None
+        i, j, key = self._rng.choice(pairs)
+        earlier, later = self._txns[i], self._txns[j]
+        # Pull the later writer's start just below the earlier's commit;
+        # the opened SCALE gaps guarantee a fresh unique timestamp.
+        new_start = earlier.commit_ts - 1
+        if new_start <= 0 or new_start >= later.commit_ts:
+            return None
+        self._txns[j] = Transaction(
+            tid=later.tid,
+            sid=later.sid,
+            sno=later.sno,
+            ops=later.ops,
+            start_ts=new_start,
+            commit_ts=later.commit_ts,
+        )
+        return self._label(Axiom.NOCONFLICT, (earlier.tid, later.tid), key)
+
+    def inject_ts_order(self) -> Optional[FaultLabel]:
+        """Swap one writer's start and commit timestamps (Eq. 1)."""
+        candidates = [
+            i
+            for i, txn in enumerate(self._txns)
+            if txn.tid != INIT_TID and txn.start_ts < txn.commit_ts
+        ]
+        if not candidates:
+            return None
+        index = self._rng.choice(candidates)
+        txn = self._txns[index]
+        self._txns[index] = Transaction(
+            tid=txn.tid,
+            sid=txn.sid,
+            sno=txn.sno,
+            ops=txn.ops,
+            start_ts=txn.commit_ts,
+            commit_ts=txn.start_ts,
+        )
+        return self._label(Axiom.TS_ORDER, (txn.tid,))
+
+    def inject_mix(self, n_faults: int) -> List[FaultLabel]:
+        """Inject ``n_faults`` faults cycling through all axiom classes."""
+        injectors = [
+            self.inject_ext,
+            self.inject_int,
+            self.inject_session,
+            self.inject_noconflict,
+            self.inject_ts_order,
+        ]
+        applied: List[FaultLabel] = []
+        attempts = 0
+        while len(applied) < n_faults and attempts < n_faults * 10:
+            injector = injectors[attempts % len(injectors)]
+            label = injector()
+            if label is not None:
+                applied.append(label)
+            attempts += 1
+        return applied
+
+    # ------------------------------------------------------------------
+
+    def _label(self, axiom: Axiom, tids: Tuple[int, ...], key: str = "") -> FaultLabel:
+        label = FaultLabel(axiom, tids, key)
+        self.labels.append(label)
+        return label
+
+
+def _rescale(txn: Transaction, scale: int) -> Transaction:
+    return Transaction(
+        tid=txn.tid,
+        sid=txn.sid,
+        sno=txn.sno,
+        ops=txn.ops,
+        start_ts=txn.start_ts * scale,
+        commit_ts=txn.commit_ts * scale,
+    )
+
+
+def _replace_ops(txn: Transaction, ops: List[Operation]) -> Transaction:
+    return Transaction(
+        tid=txn.tid,
+        sid=txn.sid,
+        sno=txn.sno,
+        ops=ops,
+        start_ts=txn.start_ts,
+        commit_ts=txn.commit_ts,
+    )
+
+
+def _replace_sno(txn: Transaction, sno: int) -> Transaction:
+    return Transaction(
+        tid=txn.tid,
+        sid=txn.sid,
+        sno=sno,
+        ops=txn.ops,
+        start_ts=txn.start_ts,
+        commit_ts=txn.commit_ts,
+    )
+
+
+def _poison(value: object) -> int:
+    """A value guaranteed not to occur in generated histories."""
+    base = value if isinstance(value, int) else 0
+    return base + 987_654_321

@@ -1,0 +1,55 @@
+"""Transactional history model.
+
+A *history* is the client-visible record of a database execution: a set of
+transactions, each carrying its session identity, program-ordered
+operations, and — because the checkers in this project are white-box —
+its start and commit timestamps extracted from the database's log/CDC.
+
+This package is the common currency of the repository: the database
+substrate (:mod:`repro.db`) produces histories, the checkers
+(:mod:`repro.core`, :mod:`repro.baselines`) consume them, and
+:mod:`repro.histories.serialization` moves them to and from disk.
+"""
+
+from repro.histories.anomalies import ANOMALY_CATALOG, AnomalySpec
+from repro.histories.builder import HistoryBuilder
+from repro.histories.model import (
+    INIT_TID,
+    INIT_TS,
+    History,
+    OpKind,
+    Operation,
+    Transaction,
+)
+from repro.histories.ops import append, read, read_list, write
+from repro.histories.serialization import (
+    history_from_jsonl,
+    history_to_jsonl,
+    load_history,
+    save_history,
+)
+from repro.histories.stats import HistoryStats
+from repro.histories.validation import ValidationIssue, validate_history
+
+__all__ = [
+    "ANOMALY_CATALOG",
+    "AnomalySpec",
+    "INIT_TID",
+    "INIT_TS",
+    "History",
+    "HistoryBuilder",
+    "HistoryStats",
+    "OpKind",
+    "Operation",
+    "Transaction",
+    "ValidationIssue",
+    "append",
+    "history_from_jsonl",
+    "history_to_jsonl",
+    "load_history",
+    "read",
+    "read_list",
+    "save_history",
+    "validate_history",
+    "write",
+]

@@ -1,0 +1,165 @@
+"""A zoo of canonical isolation anomalies as concrete histories.
+
+Each constructor returns a small, timestamped history exhibiting one
+textbook anomaly (Adya/Berenson taxonomy), with ground truth recorded in
+:data:`ANOMALY_CATALOG`: whether the history is admissible under SI and
+under SER, and — for timestamp-based checking — which axiom flags it.
+
+These serve three audiences:
+
+- tests: every checker is run against the whole catalogue and must agree
+  with the ground truth its checking model can see;
+- documentation: each constructor's docstring explains the anomaly;
+- users: a quick way to sanity-check a checker deployment end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.violations import Axiom
+from repro.histories.builder import HistoryBuilder
+from repro.histories.model import History
+from repro.histories.ops import read, write
+
+__all__ = [
+    "ANOMALY_CATALOG",
+    "AnomalySpec",
+    "dirty_read",
+    "fractured_read",
+    "long_fork",
+    "lost_update",
+    "non_repeatable_read",
+    "read_own_writes_violation",
+    "stale_sequential_read",
+    "write_skew",
+]
+
+
+@dataclass(frozen=True)
+class AnomalySpec:
+    """Ground truth for one anomaly history."""
+
+    name: str
+    build: Callable[[], History]
+    si_admissible: bool
+    ser_admissible: bool
+    #: The axiom a timestamp-based SI checker reports (None if SI-legal).
+    si_axiom: Optional[Axiom]
+
+
+def dirty_read() -> History:
+    """T2 reads T1's write *before* T1 commits.
+
+    Timestamps expose it directly: T1's commit is after T2's start, so
+    T1 cannot be in T2's snapshot — the read of x=1 is unjustified (EXT).
+    """
+    b = HistoryBuilder(keys=["x"])
+    b.txn(sid=1, start=1, commit=4, ops=[write("x", 1)])
+    b.txn(sid=2, start=2, commit=3, ops=[read("x", 1)])
+    return b.build()
+
+
+def non_repeatable_read() -> History:
+    """T reads x twice and sees two different values.
+
+    Under SI both reads come from one snapshot, so the second read
+    contradicts the first (INT — it disagrees with the transaction's own
+    observed state).
+    """
+    b = HistoryBuilder(keys=["x"])
+    b.txn(sid=1, start=1, commit=2, ops=[write("x", 1)])
+    b.txn(sid=2, start=3, commit=6, ops=[read("x", 1), read("x", 2)])
+    b.txn(sid=3, start=4, commit=5, ops=[write("x", 2)])
+    return b.build()
+
+
+def lost_update() -> History:
+    """Two concurrent read-modify-writes of one key both commit.
+
+    The second committer clobbers the first's update; SI forbids this
+    via first-committer-wins (NOCONFLICT).
+    """
+    b = HistoryBuilder(keys=["x"])
+    b.txn(sid=1, start=1, commit=3, ops=[read("x", 0), write("x", 1)])
+    b.txn(sid=2, start=2, commit=4, ops=[read("x", 0), write("x", 2)])
+    return b.build()
+
+
+def write_skew() -> History:
+    """The classic SI-legal, SER-illegal anomaly.
+
+    Two concurrent transactions each read the key the other writes.
+    Both snapshots are consistent (SI holds); no serial order justifies
+    both reads (SER fails).
+    """
+    b = HistoryBuilder(keys=["x", "y"])
+    b.txn(sid=1, start=1, commit=3, ops=[read("x", 0), write("y", 1)])
+    b.txn(sid=2, start=2, commit=4, ops=[read("y", 0), write("x", 2)])
+    return b.build()
+
+
+def long_fork() -> History:
+    """Two observers disagree on the order of two independent writes.
+
+    T3 sees x=1 but not y=2; T4 sees y=2 but not x=1.  Snapshot
+    timestamps make the disagreement impossible: one of the two reads
+    contradicts its snapshot (EXT).
+    """
+    b = HistoryBuilder(keys=["x", "y"])
+    b.txn(sid=1, start=1, commit=2, ops=[write("x", 1)])
+    b.txn(sid=2, start=3, commit=4, ops=[write("y", 2)])
+    b.txn(sid=3, start=5, commit=6, ops=[read("x", 1), read("y", 0)])
+    b.txn(sid=4, start=7, commit=8, ops=[read("x", 0), read("y", 2)])
+    return b.build()
+
+
+def fractured_read() -> History:
+    """A reader sees half of another transaction's atomic write pair.
+
+    T1 writes x and y together; T2's snapshot contains T1's x but not
+    its y — atomic visibility is broken (EXT on the stale read).
+    """
+    b = HistoryBuilder(keys=["x", "y"])
+    b.txn(sid=1, start=1, commit=2, ops=[write("x", 1), write("y", 1)])
+    b.txn(sid=2, start=3, commit=4, ops=[read("x", 1), read("y", 0)])
+    return b.build()
+
+
+def read_own_writes_violation() -> History:
+    """A transaction fails to observe its own earlier write (INT)."""
+    b = HistoryBuilder(keys=["x"])
+    b.txn(sid=1, start=1, commit=2, ops=[write("x", 5), read("x", 0)])
+    return b.build()
+
+
+def stale_sequential_read() -> History:
+    """The Fig 11 history: sequential commits, read of an old version.
+
+    SI-illegal under timestamp-based checking (the snapshot must contain
+    the later committed write) yet accepted by black-box checkers, which
+    may order the reader before the second writer.
+    """
+    b = HistoryBuilder(keys=["x"])
+    b.txn(sid=1, start=1, commit=2, ops=[write("x", 1)])
+    b.txn(sid=2, start=3, commit=4, ops=[write("x", 2)])
+    b.txn(sid=3, start=5, commit=6, ops=[read("x", 1)])
+    return b.build()
+
+
+ANOMALY_CATALOG: Dict[str, AnomalySpec] = {
+    spec.name: spec
+    for spec in (
+        AnomalySpec("dirty-read", dirty_read, False, False, Axiom.EXT),
+        AnomalySpec("non-repeatable-read", non_repeatable_read, False, False, Axiom.INT),
+        AnomalySpec("lost-update", lost_update, False, False, Axiom.NOCONFLICT),
+        AnomalySpec("write-skew", write_skew, True, False, None),
+        AnomalySpec("long-fork", long_fork, False, False, Axiom.EXT),
+        AnomalySpec("fractured-read", fractured_read, False, False, Axiom.EXT),
+        AnomalySpec(
+            "read-own-writes-violation", read_own_writes_violation, False, False, Axiom.INT
+        ),
+        AnomalySpec("stale-sequential-read", stale_sequential_read, False, False, Axiom.EXT),
+    )
+}

@@ -1,0 +1,39 @@
+"""Readable constructors for operations.
+
+These mirror the paper's notation: ``R(k, v)`` and ``W(k, v)`` for
+key-value histories, plus append / list-read for list histories.
+
+>>> from repro.histories import read, write
+>>> write("x", 1)
+W(x, 1)
+>>> read("y", 2)
+R(y, 2)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.histories.model import Operation, OpKind
+
+__all__ = ["read", "write", "append", "read_list"]
+
+
+def read(key: str, value: Any) -> Operation:
+    """``R(k, v)`` — a read of ``key`` returning ``value``."""
+    return Operation(OpKind.READ, key, value)
+
+
+def write(key: str, value: Any) -> Operation:
+    """``W(k, v)`` — a write of ``value`` to ``key``."""
+    return Operation(OpKind.WRITE, key, value)
+
+
+def append(key: str, value: Any) -> Operation:
+    """An append of ``value`` to the list at ``key``."""
+    return Operation(OpKind.APPEND, key, value)
+
+
+def read_list(key: str, values: Iterable[Any]) -> Operation:
+    """A read of the list at ``key`` returning ``values`` in order."""
+    return Operation(OpKind.READ_LIST, key, tuple(values))

@@ -1,0 +1,87 @@
+"""Structural validation of histories.
+
+Validation is distinct from isolation checking: these checks catch
+*malformed inputs* (duplicate ids, reused timestamps, gapped session
+sequence numbers) that would make checker output meaningless, whereas the
+checkers in :mod:`repro.core` report *isolation violations* of well-formed
+histories.  The collector validates incoming batches before feeding Aion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.histories.model import INIT_TID, History
+
+__all__ = ["ValidationIssue", "validate_history"]
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One structural problem found in a history."""
+
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.code}] {self.message}"
+
+
+def validate_history(history: History, *, require_init: bool = True) -> List[ValidationIssue]:
+    """Return all structural issues found (empty list == well-formed).
+
+    Checks performed:
+
+    - ``init-missing`` — the initial transaction ⊥T is absent;
+    - ``ts-reuse`` — a timestamp is used by two different transactions
+      (the oracle issues unique timestamps, §II-A);
+    - ``ts-order`` — ``start_ts > commit_ts`` (violates Eq. 1; also
+      reported by the checkers, but a malformed input deserves a
+      structural flag);
+    - ``sno-gap`` — session sequence numbers are not ``0, 1, 2, ...``;
+    - ``empty-txn`` — a transaction with no operations.
+    """
+    issues: List[ValidationIssue] = []
+
+    if require_init and history.init_transaction is None:
+        issues.append(
+            ValidationIssue("init-missing", "history lacks the initial transaction ⊥T (tid 0)")
+        )
+
+    ts_owner: dict[int, int] = {}
+    for txn in history:
+        for ts in {txn.start_ts, txn.commit_ts}:
+            owner = ts_owner.get(ts)
+            if owner is not None and owner != txn.tid:
+                issues.append(
+                    ValidationIssue(
+                        "ts-reuse",
+                        f"timestamp {ts} used by transactions {owner} and {txn.tid}",
+                    )
+                )
+            ts_owner[ts] = txn.tid
+        if txn.start_ts > txn.commit_ts:
+            issues.append(
+                ValidationIssue(
+                    "ts-order",
+                    f"transaction {txn.tid} has start_ts {txn.start_ts} > commit_ts {txn.commit_ts}",
+                )
+            )
+        if not txn.ops:
+            issues.append(ValidationIssue("empty-txn", f"transaction {txn.tid} has no operations"))
+
+    for sid, txns in history.sessions.items():
+        expected = 0
+        for txn in txns:
+            if txn.sno != expected:
+                issues.append(
+                    ValidationIssue(
+                        "sno-gap",
+                        f"session {sid}: expected sno {expected}, found {txn.sno} (tid {txn.tid})",
+                    )
+                )
+                expected = txn.sno
+            expected += 1
+
+    return issues

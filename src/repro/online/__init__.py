@@ -1,0 +1,35 @@
+"""Online checking infrastructure (§VI).
+
+- :mod:`repro.online.clock` — a deterministic virtual clock, injected
+  into the checkers so timeout behaviour is reproducible;
+- :mod:`repro.online.delays` — per-transaction delay models: the paper's
+  batched delivery with normally distributed delays N(mu, sigma²);
+- :mod:`repro.online.collector` — turns a history (or a live CDC feed)
+  into a timed arrival schedule, preserving session order, in batches of
+  500 transactions;
+- :mod:`repro.online.metrics` — throughput buckets and memory sampling;
+- :mod:`repro.online.runner` — drives a checker through a schedule in
+  either *capacity mode* (wall-clock-paced, for the Fig 12 throughput
+  curves, with pluggable GC strategies) or *tracking mode*
+  (arrival-paced, for the flip-flop experiments of Figs 13/14/17–21).
+"""
+
+from repro.online.clock import SimClock
+from repro.online.collector import ArrivalSchedule, HistoryCollector
+from repro.online.delays import DelayModel, NoDelay, NormalDelay
+from repro.online.metrics import MemorySampler, ThroughputSeries
+from repro.online.runner import GcPolicy, OnlineRunReport, OnlineRunner
+
+__all__ = [
+    "ArrivalSchedule",
+    "DelayModel",
+    "GcPolicy",
+    "HistoryCollector",
+    "MemorySampler",
+    "NoDelay",
+    "NormalDelay",
+    "OnlineRunReport",
+    "OnlineRunner",
+    "SimClock",
+    "ThroughputSeries",
+]

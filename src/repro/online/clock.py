@@ -1,0 +1,39 @@
+"""A deterministic virtual clock.
+
+The online checkers take a ``clock`` callable (defaulting to
+:func:`time.monotonic`); experiments inject a :class:`SimClock` instead
+so EXT timeouts, flip-flop timing, and rectify-time histograms are exact
+functions of the configured delays rather than host scheduling noise.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """Monotonic virtual time in (fractional) seconds."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; negative advances are rejected."""
+        if seconds < 0:
+            raise ValueError("time cannot move backwards")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Advance to an absolute time (no-op if already past it)."""
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now

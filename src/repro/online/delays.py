@@ -1,0 +1,48 @@
+"""Per-transaction delay models (§VI-C).
+
+"As the history collector delivers transactions to the checker in
+batches (500 transactions per batch), we introduce artificial random
+delays for each transaction within each batch, following a normal
+distribution, to mimic asynchrony."
+
+Delays are expressed in **milliseconds** (as in the paper's N(100, 10²))
+and converted to seconds on the schedule; negative samples clamp to 0.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Protocol
+
+__all__ = ["DelayModel", "NoDelay", "NormalDelay"]
+
+
+class DelayModel(Protocol):
+    """Draws one delay (in seconds) per delivered transaction."""
+
+    def delay_seconds(self, rng: Random) -> float:
+        ...
+
+
+class NoDelay:
+    """Perfectly synchronous delivery."""
+
+    def delay_seconds(self, rng: Random) -> float:
+        return 0.0
+
+
+class NormalDelay:
+    """N(mean_ms, std_ms²) millisecond delays, clamped at zero."""
+
+    def __init__(self, mean_ms: float = 100.0, std_ms: float = 10.0) -> None:
+        if std_ms < 0:
+            raise ValueError("std_ms must be >= 0")
+        self.mean_ms = mean_ms
+        self.std_ms = std_ms
+
+    def delay_seconds(self, rng: Random) -> float:
+        sample = rng.gauss(self.mean_ms, self.std_ms) if self.std_ms > 0 else self.mean_ms
+        return max(0.0, sample) / 1000.0
+
+    def __repr__(self) -> str:
+        return f"NormalDelay(N({self.mean_ms:g}, {self.std_ms:g}²) ms)"

@@ -1,0 +1,79 @@
+"""Throughput and memory metrics for the online experiments.
+
+:class:`ThroughputSeries` buckets completion events into one-second
+windows of virtual time — the Fig 12 curves are exactly this series.
+:class:`MemorySampler` snapshots a checker's estimated resident bytes at
+a configurable cadence — Fig 10/16 are these samples over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+__all__ = ["ThroughputSeries", "MemorySampler"]
+
+
+class ThroughputSeries:
+    """Counts completions per fixed-width time bucket."""
+
+    def __init__(self, bucket_seconds: float = 1.0) -> None:
+        if bucket_seconds <= 0:
+            raise ValueError("bucket_seconds must be positive")
+        self.bucket_seconds = bucket_seconds
+        self._buckets: Dict[int, int] = {}
+        self.total = 0
+
+    def record(self, timestamp: float, count: int = 1) -> None:
+        bucket = int(timestamp / self.bucket_seconds)
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + count
+        self.total += count
+
+    def series(self) -> List[Tuple[float, float]]:
+        """(bucket start time, TPS) pairs, gaps filled with zero."""
+        if not self._buckets:
+            return []
+        last = max(self._buckets)
+        return [
+            (
+                bucket * self.bucket_seconds,
+                self._buckets.get(bucket, 0) / self.bucket_seconds,
+            )
+            for bucket in range(0, last + 1)
+        ]
+
+    def sustained_tps(self, *, skip_warmup_buckets: int = 1) -> float:
+        """Mean TPS after a warm-up prefix (the paper's 'sustained')."""
+        points = self.series()[skip_warmup_buckets:]
+        if not points:
+            points = self.series()
+        if not points:
+            return 0.0
+        return sum(tps for _, tps in points) / len(points)
+
+    def peak_tps(self) -> float:
+        points = self.series()
+        return max((tps for _, tps in points), default=0.0)
+
+
+@dataclass
+class MemorySampler:
+    """Periodically samples a byte-estimate callable."""
+
+    estimate: Callable[[], int]
+    every_n: int = 1000
+    samples: List[Tuple[float, int]] = field(default_factory=list)
+    _countdown: int = 0
+
+    def maybe_sample(self, timestamp: float) -> None:
+        self._countdown += 1
+        if self._countdown >= self.every_n:
+            self._countdown = 0
+            self.samples.append((timestamp, self.estimate()))
+
+    def force_sample(self, timestamp: float) -> None:
+        self.samples.append((timestamp, self.estimate()))
+
+    @property
+    def peak_bytes(self) -> int:
+        return max((value for _, value in self.samples), default=0)

@@ -1,0 +1,139 @@
+"""Per-key interval index with overlap queries.
+
+The NOCONFLICT axiom concerns *temporally overlapping* writers of a key:
+two transactions conflict when both write some key ``k`` and their
+``[start_ts, commit_ts]`` intervals intersect.  Offline, Chronos detects
+this with a running ``ongoing`` set; online, Aion must answer the
+retroactive query "which writer intervals of ``k`` overlap this new
+interval?" — the role of :class:`IntervalIndex`.
+
+The index keeps intervals sorted by start point in a
+:class:`~repro.util.sortedmap.SortedMap` and maintains the running maximum
+end point of each prefix, so an overlap query inspects only candidate
+intervals whose start precedes the query's end and prunes with the prefix
+maximum, giving ``O(log n + answer)`` behaviour on the non-adversarial
+timelines produced by databases (writer intervals are short relative to
+history length).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional
+
+from repro.util.sortedmap import SortedMap
+
+__all__ = ["Interval", "IntervalIndex"]
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A closed interval ``[start, end]`` tagged with an owner payload."""
+
+    start: int
+    end: int
+    owner: Any = None
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"interval end {self.end} precedes start {self.start}")
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when the closed intervals share at least one point."""
+        return self.start <= other.end and other.start <= self.end
+
+    def contains_point(self, point: int) -> bool:
+        return self.start <= point <= self.end
+
+
+class IntervalIndex:
+    """A dynamic set of intervals supporting overlap queries and GC.
+
+    Intervals are keyed by ``(start, owner)`` so multiple intervals may
+    share a start point.  The index additionally tracks, for every entry,
+    the maximum ``end`` over all entries at or before it (a monotone
+    "reach" value), letting :meth:`overlapping` stop early.
+    """
+
+    __slots__ = ("_by_start", "_max_end")
+
+    def __init__(self) -> None:
+        self._by_start: SortedMap = SortedMap()
+        self._max_end: int | None = None
+
+    def __len__(self) -> int:
+        return len(self._by_start)
+
+    def __iter__(self) -> Iterator[Interval]:
+        for _, interval in self._by_start.items():
+            yield interval
+
+    def add(self, interval: Interval) -> None:
+        """Insert an interval; duplicate (start, owner) pairs overwrite."""
+        self._by_start[(interval.start, interval.owner)] = interval
+        if self._max_end is None or interval.end > self._max_end:
+            self._max_end = interval.end
+
+    def remove(self, interval: Interval) -> None:
+        """Remove an interval previously added; KeyError if absent."""
+        del self._by_start[(interval.start, interval.owner)]
+        # _max_end is a conservative upper bound; shrinking it lazily keeps
+        # removal O(log n) at the cost of slightly wider scans afterwards.
+        if not self._by_start:
+            self._max_end = None
+
+    def overlapping(self, query: Interval) -> List[Interval]:
+        """Return all stored intervals overlapping ``query`` (closed ends).
+
+        The owner of ``query`` is *not* excluded; callers filter self-hits.
+        """
+        if self._max_end is not None and self._max_end < query.start:
+            return []
+        hits: List[Interval] = []
+        # Candidates must start at or before query.end.
+        for _, interval in self._by_start.irange(None, (query.end, _OWNER_MAX)):
+            if interval.end >= query.start:
+                hits.append(interval)
+        return hits
+
+    def first_start_after(self, point: int) -> Optional[Interval]:
+        """Return the interval with the least start strictly after ``point``."""
+        item = self._by_start.higher_item((point, _OWNER_MAX))
+        return None if item is None else item[1]
+
+    def pop_ending_before(self, point: int) -> List[Interval]:
+        """Remove and return intervals wholly before ``point`` (end < point).
+
+        Garbage collection: once the GC-safe timestamp passes an interval's
+        end, no future transaction can overlap it.
+        """
+        doomed = [iv for iv in self if iv.end < point]
+        for interval in doomed:
+            del self._by_start[(interval.start, interval.owner)]
+        if not self._by_start:
+            self._max_end = None
+        return doomed
+
+
+class _OwnerMax:
+    """Sentinel comparing greater than every owner, for range endpoints."""
+
+    __slots__ = ()
+
+    def __lt__(self, other: Any) -> bool:
+        return False
+
+    def __gt__(self, other: Any) -> bool:
+        return other is not self
+
+    def __eq__(self, other: Any) -> bool:
+        return other is self
+
+    def __hash__(self) -> int:
+        return 0x0FFEE
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<owner-max>"
+
+
+_OWNER_MAX = _OwnerMax()

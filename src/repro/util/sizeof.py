@@ -1,0 +1,78 @@
+"""Recursive deep-size estimation for memory experiments.
+
+The paper's memory figures (Fig 7, Fig 10, Fig 16) profile the JVM heap.
+Python has no free equivalent, so the benchmark harness samples
+:func:`deep_sizeof` over the checker's live structures instead: a
+``sys.getsizeof`` walk with cycle protection that understands the
+container types the checkers actually use (dict, list, set, tuple,
+objects with ``__dict__`` or ``__slots__``, and the project's own
+:class:`~repro.util.sortedmap.SortedMap`).
+
+The walk is iterative — checker structures include pointer chains tens
+of thousands of nodes long (skiplist levels), far beyond the interpreter
+recursion limit.  The estimate is deliberately simple: shared objects
+are counted once thanks to the memo, and interpreter overhead is
+excluded, which is exactly what is needed to compare *relative* memory
+between checkers and to observe sawtooth GC behaviour over time.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Iterable, List, Optional, Set
+
+__all__ = ["deep_sizeof"]
+
+_ATOMIC = (str, bytes, bytearray, int, float, complex, bool, type(None))
+
+
+def deep_sizeof(obj: Any, *, _seen: Optional[Set[int]] = None) -> int:
+    """Return an estimate of the total bytes reachable from ``obj``.
+
+    Objects already visited (by identity) are counted once, so aliased
+    subtrees — e.g. transactions shared between the timeline and per-key
+    indexes — do not inflate the estimate.
+    """
+    seen = _seen if _seen is not None else set()
+    total = 0
+    stack: List[Any] = [obj]
+    while stack:
+        current = stack.pop()
+        current_id = id(current)
+        if current_id in seen:
+            continue
+        seen.add(current_id)
+        try:
+            total += sys.getsizeof(current)
+        except TypeError:  # pragma: no cover - exotic objects without sizeof
+            pass
+
+        if isinstance(current, _ATOMIC):
+            continue
+        if isinstance(current, dict):
+            stack.extend(current.keys())
+            stack.extend(current.values())
+            continue
+        if isinstance(current, (list, tuple, set, frozenset)):
+            stack.extend(current)
+            continue
+
+        # Generic objects: follow __dict__ and __slots__.
+        obj_dict = getattr(current, "__dict__", None)
+        if obj_dict is not None:
+            stack.append(obj_dict)
+        for slot in _all_slots(type(current)):
+            try:
+                stack.append(getattr(current, slot))
+            except AttributeError:
+                continue
+    return total
+
+
+def _all_slots(cls: type) -> Iterable[str]:
+    for klass in cls.__mro__:
+        slots = getattr(klass, "__slots__", ())
+        if isinstance(slots, str):
+            yield slots
+        else:
+            yield from slots

@@ -1,0 +1,327 @@
+"""A skiplist-backed sorted map with floor/ceiling queries.
+
+Aion (Algorithm 3 in the paper) must insert transactions into an already
+sorted timeline and answer "latest version before timestamp ``ts``" queries
+against its versioned ``frontier_ts`` / ``ongoing_ts`` structures.  The
+paper suggests a balanced binary search tree; a skiplist offers the same
+expected ``O(log n)`` bounds with a considerably simpler implementation and
+no rebalancing, which keeps the hot path short in pure Python.
+
+The map stores unique, mutually comparable keys.  Beyond the usual mapping
+operations it supports:
+
+- :meth:`SortedMap.floor_item` / :meth:`SortedMap.ceiling_item` — greatest
+  key ``<= k`` / least key ``>= k``;
+- :meth:`SortedMap.lower_item` / :meth:`SortedMap.higher_item` — strict
+  variants;
+- :meth:`SortedMap.irange` — ordered iteration over a key range, the
+  primitive behind Aion's re-checking sweeps;
+- :meth:`SortedMap.pop_below` — bulk removal used by garbage collection.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterable, Iterator, Optional, Tuple
+
+__all__ = ["SortedMap"]
+
+_MAX_LEVEL = 32
+_P = 0.5
+
+
+class _Node:
+    """A skiplist tower holding one key/value pair."""
+
+    __slots__ = ("key", "value", "forward")
+
+    def __init__(self, key: Any, value: Any, level: int) -> None:
+        self.key = key
+        self.value = value
+        self.forward: list[Optional[_Node]] = [None] * level
+
+
+class SortedMap:
+    """A mutable mapping whose keys are kept in sorted order.
+
+    The implementation is a classic Pugh skiplist.  All single-item
+    operations (get, set, delete, floor, ceiling) run in expected
+    ``O(log n)``; in-order iteration is ``O(n)``.
+
+    >>> m = SortedMap()
+    >>> m[10] = "a"; m[20] = "b"; m[30] = "c"
+    >>> m.floor_item(25)
+    (20, 'b')
+    >>> list(m.irange(15, 30))
+    [(20, 'b'), (30, 'c')]
+    """
+
+    __slots__ = ("_head", "_level", "_len", "_rng")
+
+    def __init__(self, items: Optional[Iterable[Tuple[Any, Any]]] = None, *, seed: int = 0x5EED) -> None:
+        self._head = _Node(None, None, _MAX_LEVEL)
+        self._level = 1
+        self._len = 0
+        # A private RNG keeps tower heights deterministic for a given
+        # insertion sequence, which makes benchmarks reproducible.
+        self._rng = random.Random(seed)
+        if items is not None:
+            for key, value in items:
+                self[key] = value
+
+    # ------------------------------------------------------------------
+    # Mapping protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __bool__(self) -> bool:
+        return self._len > 0
+
+    def __contains__(self, key: Any) -> bool:
+        node = self._find_equal(key)
+        return node is not None
+
+    def __getitem__(self, key: Any) -> Any:
+        node = self._find_equal(key)
+        if node is None:
+            raise KeyError(key)
+        return node.value
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        node = self._find_equal(key)
+        return default if node is None else node.value
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        update: list[_Node] = [self._head] * _MAX_LEVEL
+        node = self._head
+        for level in range(self._level - 1, -1, -1):
+            nxt = node.forward[level]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.forward[level]
+            update[level] = node
+        candidate = node.forward[0]
+        if candidate is not None and candidate.key == key:
+            candidate.value = value
+            return
+        height = self._random_level()
+        if height > self._level:
+            self._level = height
+        new_node = _Node(key, value, height)
+        for level in range(height):
+            new_node.forward[level] = update[level].forward[level]
+            update[level].forward[level] = new_node
+        self._len += 1
+
+    def __delitem__(self, key: Any) -> None:
+        update: list[_Node] = [self._head] * _MAX_LEVEL
+        node = self._head
+        for level in range(self._level - 1, -1, -1):
+            nxt = node.forward[level]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.forward[level]
+            update[level] = node
+        target = node.forward[0]
+        if target is None or target.key != key:
+            raise KeyError(key)
+        for level in range(len(target.forward)):
+            if update[level].forward[level] is target:
+                update[level].forward[level] = target.forward[level]
+        while self._level > 1 and self._head.forward[self._level - 1] is None:
+            self._level -= 1
+        self._len -= 1
+
+    def pop(self, key: Any, *default: Any) -> Any:
+        node = self._find_equal(key)
+        if node is None:
+            if default:
+                return default[0]
+            raise KeyError(key)
+        value = node.value
+        del self[key]
+        return value
+
+    def setdefault(self, key: Any, default: Any) -> Any:
+        node = self._find_equal(key)
+        if node is not None:
+            return node.value
+        self[key] = default
+        return default
+
+    def clear(self) -> None:
+        self._head = _Node(None, None, _MAX_LEVEL)
+        self._level = 1
+        self._len = 0
+
+    # ------------------------------------------------------------------
+    # Ordered queries
+    # ------------------------------------------------------------------
+
+    def min_item(self) -> Tuple[Any, Any]:
+        """Return the smallest (key, value) pair; raise KeyError if empty."""
+        first = self._head.forward[0]
+        if first is None:
+            raise KeyError("min_item(): map is empty")
+        return first.key, first.value
+
+    def max_item(self) -> Tuple[Any, Any]:
+        """Return the largest (key, value) pair; raise KeyError if empty."""
+        node = self._head
+        for level in range(self._level - 1, -1, -1):
+            nxt = node.forward[level]
+            while nxt is not None:
+                node = nxt
+                nxt = node.forward[level]
+        if node is self._head:
+            raise KeyError("max_item(): map is empty")
+        return node.key, node.value
+
+    def floor_item(self, key: Any) -> Optional[Tuple[Any, Any]]:
+        """Return the item with the greatest key ``<= key``, or None."""
+        node = self._predecessor(key)
+        candidate = node.forward[0]
+        if candidate is not None and candidate.key == key:
+            return candidate.key, candidate.value
+        if node is self._head:
+            return None
+        return node.key, node.value
+
+    def lower_item(self, key: Any) -> Optional[Tuple[Any, Any]]:
+        """Return the item with the greatest key ``< key``, or None."""
+        node = self._predecessor(key)
+        if node is self._head:
+            return None
+        return node.key, node.value
+
+    def ceiling_item(self, key: Any) -> Optional[Tuple[Any, Any]]:
+        """Return the item with the least key ``>= key``, or None."""
+        node = self._predecessor(key).forward[0]
+        if node is None:
+            return None
+        return node.key, node.value
+
+    def higher_item(self, key: Any) -> Optional[Tuple[Any, Any]]:
+        """Return the item with the least key ``> key``, or None."""
+        node = self._predecessor(key).forward[0]
+        if node is not None and node.key == key:
+            node = node.forward[0]
+        if node is None:
+            return None
+        return node.key, node.value
+
+    def irange(
+        self,
+        low: Any = None,
+        high: Any = None,
+        *,
+        inclusive: Tuple[bool, bool] = (True, True),
+    ) -> Iterator[Tuple[Any, Any]]:
+        """Iterate (key, value) pairs with ``low <= key <= high`` in order.
+
+        ``low=None`` / ``high=None`` leave that side unbounded; the
+        ``inclusive`` pair controls closed/open endpoints, mirroring
+        ``sortedcontainers.SortedDict.irange``.
+        """
+        if low is None:
+            node = self._head.forward[0]
+        else:
+            node = self._predecessor(low).forward[0]
+            if node is not None and not inclusive[0] and node.key == low:
+                node = node.forward[0]
+        while node is not None:
+            if high is not None:
+                if node.key > high:
+                    return
+                if not inclusive[1] and node.key == high:
+                    return
+            yield node.key, node.value
+            node = node.forward[0]
+
+    def pop_below(self, key: Any, *, inclusive: bool = True) -> list[Tuple[Any, Any]]:
+        """Remove and return every item with key ``<= key`` (or ``< key``).
+
+        This is the garbage-collection primitive: Aion periodically evicts
+        all versions below the GC-safe timestamp in one sweep, which this
+        method performs in ``O(removed + log n)`` by splicing the skiplist
+        rather than deleting keys one at a time.
+        """
+        removed: list[Tuple[Any, Any]] = []
+        node = self._head.forward[0]
+        while node is not None:
+            if node.key > key or (not inclusive and node.key == key):
+                break
+            removed.append((node.key, node.value))
+            node = node.forward[0]
+        if not removed:
+            return removed
+        boundary = removed[-1][0]
+        # Splice every level past the last removed node.
+        walk = self._head
+        for level in range(self._level - 1, -1, -1):
+            nxt = walk.forward[level]
+            while nxt is not None and (nxt.key < boundary or nxt.key == boundary):
+                nxt = nxt.forward[level]
+            self._head.forward[level] = nxt
+        while self._level > 1 and self._head.forward[self._level - 1] is None:
+            self._level -= 1
+        self._len -= len(removed)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Any]:
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.key
+            node = node.forward[0]
+
+    def keys(self) -> Iterator[Any]:
+        return iter(self)
+
+    def values(self) -> Iterator[Any]:
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.value
+            node = node.forward[0]
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.key, node.value
+            node = node.forward[0]
+
+    def __repr__(self) -> str:
+        preview = ", ".join(f"{k!r}: {v!r}" for k, v in list(self.items())[:8])
+        suffix = ", ..." if len(self) > 8 else ""
+        return f"SortedMap({{{preview}{suffix}}})"
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _random_level(self) -> int:
+        level = 1
+        while level < _MAX_LEVEL and self._rng.random() < _P:
+            level += 1
+        return level
+
+    def _predecessor(self, key: Any) -> _Node:
+        """Return the last node with ``node.key < key`` (head if none)."""
+        node = self._head
+        for level in range(self._level - 1, -1, -1):
+            nxt = node.forward[level]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.forward[level]
+        return node
+
+    def _find_equal(self, key: Any) -> Optional[_Node]:
+        node = self._predecessor(key).forward[0]
+        if node is not None and node.key == key:
+            return node
+        return None

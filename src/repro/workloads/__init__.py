@@ -1,0 +1,43 @@
+"""Workload generators (§V-A1 and §VI-A).
+
+- :mod:`repro.workloads.spec` — the Table I parameter space and defaults;
+- :mod:`repro.workloads.generator` — the default key-value workload:
+  interleaved sessions issuing read/write transactions over a keyspace
+  with uniform / zipfian / hotspot access;
+- :mod:`repro.workloads.list_workload` — list (append) histories;
+- :mod:`repro.workloads.twitter` — the Twitter clone (500 users posting,
+  following, reading timelines; key count grows with history length);
+- :mod:`repro.workloads.rubis` — the RUBiS auction site (200 users, 800
+  items; bounded key population);
+- :mod:`repro.workloads.tpcc` — a TPC-C-style workload with composite
+  primary keys across nine tables (used offline, Fig 24).
+
+All generators run their transactions through :class:`repro.db.Database`
+(so the histories are produced by an actual SI/SER engine, not sampled),
+take explicit seeds, and return :class:`repro.histories.History`.
+"""
+
+from repro.workloads.distributions import HotspotKeys, KeyChooser, UniformKeys, ZipfianKeys
+from repro.workloads.driver import InterleavedDriver, TxnProgram
+from repro.workloads.generator import generate_default_history
+from repro.workloads.list_workload import generate_list_history
+from repro.workloads.rubis import generate_rubis_history
+from repro.workloads.spec import PARAMETER_GRID, WorkloadSpec
+from repro.workloads.tpcc import generate_tpcc_history
+from repro.workloads.twitter import generate_twitter_history
+
+__all__ = [
+    "HotspotKeys",
+    "InterleavedDriver",
+    "KeyChooser",
+    "PARAMETER_GRID",
+    "TxnProgram",
+    "UniformKeys",
+    "WorkloadSpec",
+    "ZipfianKeys",
+    "generate_default_history",
+    "generate_list_history",
+    "generate_rubis_history",
+    "generate_tpcc_history",
+    "generate_twitter_history",
+]

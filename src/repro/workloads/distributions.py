@@ -1,0 +1,95 @@
+"""Key-access distributions: uniform, zipfian, hotspot (Table I).
+
+Each chooser maps a :class:`random.Random` stream onto key indexes.  The
+zipfian chooser uses the standard YCSB-style exponent (0.99) and a
+precomputed cumulative distribution (O(log n) sampling via bisect); the
+hotspot chooser sends 80% of accesses to the first 20% of the keyspace.
+"""
+
+from __future__ import annotations
+
+import bisect
+from random import Random
+from typing import List, Protocol
+
+__all__ = ["KeyChooser", "UniformKeys", "ZipfianKeys", "HotspotKeys", "make_chooser"]
+
+
+class KeyChooser(Protocol):
+    """Samples key indexes in ``[0, n_keys)``."""
+
+    def choose(self, rng: Random) -> int:
+        ...
+
+
+class UniformKeys:
+    """Every key equally likely."""
+
+    def __init__(self, n_keys: int) -> None:
+        if n_keys < 1:
+            raise ValueError("n_keys must be >= 1")
+        self.n_keys = n_keys
+
+    def choose(self, rng: Random) -> int:
+        return rng.randrange(self.n_keys)
+
+
+class ZipfianKeys:
+    """Zipf-distributed popularity: P(i) ∝ 1 / (i + 1)^theta."""
+
+    def __init__(self, n_keys: int, theta: float = 0.99) -> None:
+        if n_keys < 1:
+            raise ValueError("n_keys must be >= 1")
+        if theta <= 0:
+            raise ValueError("theta must be positive")
+        self.n_keys = n_keys
+        self.theta = theta
+        weights = [1.0 / (i + 1) ** theta for i in range(n_keys)]
+        total = sum(weights)
+        cumulative: List[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            cumulative.append(acc)
+        cumulative[-1] = 1.0
+        self._cdf = cumulative
+
+    def choose(self, rng: Random) -> int:
+        return bisect.bisect_left(self._cdf, rng.random())
+
+
+class HotspotKeys:
+    """A hot fraction of the keyspace receives most accesses.
+
+    Defaults follow the paper: 80% of operations target the hottest 20%
+    of keys.
+    """
+
+    def __init__(self, n_keys: int, hot_fraction: float = 0.2, hot_probability: float = 0.8) -> None:
+        if n_keys < 1:
+            raise ValueError("n_keys must be >= 1")
+        if not 0.0 < hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in (0, 1]")
+        if not 0.0 <= hot_probability <= 1.0:
+            raise ValueError("hot_probability must be in [0, 1]")
+        self.n_keys = n_keys
+        self.hot_count = max(1, int(n_keys * hot_fraction))
+        self.hot_probability = hot_probability
+
+    def choose(self, rng: Random) -> int:
+        if rng.random() < self.hot_probability:
+            return rng.randrange(self.hot_count)
+        if self.hot_count >= self.n_keys:
+            return rng.randrange(self.n_keys)
+        return rng.randrange(self.hot_count, self.n_keys)
+
+
+def make_chooser(distribution: str, n_keys: int) -> KeyChooser:
+    """Build the chooser named by a Table I distribution value."""
+    if distribution == "uniform":
+        return UniformKeys(n_keys)
+    if distribution == "zipfian":
+        return ZipfianKeys(n_keys)
+    if distribution == "hotspot":
+        return HotspotKeys(n_keys)
+    raise ValueError(f"unknown distribution {distribution!r}")

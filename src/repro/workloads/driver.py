@@ -1,0 +1,176 @@
+"""The interleaved workload driver.
+
+Realistic histories need genuinely overlapping transaction lifetimes —
+otherwise first-committer-wins never fires, every SI history is trivially
+serializable, and the NOCONFLICT / write-skew machinery goes untested.
+The driver therefore advances sessions *one operation at a time* in a
+randomized interleaving: at each step one active session either begins a
+transaction, executes its next operation, or commits.  Aborted
+transactions are retried with a freshly generated program, and only
+committed transactions count toward the target (§IV-B).
+
+Workloads describe client intent as :class:`TxnProgram` — a list of steps
+over keys — produced by a factory callback, which lets the application
+workloads (Twitter, RUBiS, TPC-C) close over their own evolving state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.db.engine import Database, Session, TransactionAborted, TxnHandle
+
+__all__ = ["TxnProgram", "Step", "InterleavedDriver"]
+
+# One client step: ("r", key) | ("w", key, value) | ("a", key, element)
+# | ("rl", key).
+Step = Tuple[Any, ...]
+
+
+@dataclass
+class TxnProgram:
+    """A client-side transaction plan."""
+
+    steps: List[Step] = field(default_factory=list)
+
+    def read(self, key: str) -> "TxnProgram":
+        self.steps.append(("r", key))
+        return self
+
+    def write(self, key: str, value: Any) -> "TxnProgram":
+        self.steps.append(("w", key, value))
+        return self
+
+    def append(self, key: str, element: Any) -> "TxnProgram":
+        self.steps.append(("a", key, element))
+        return self
+
+    def read_list(self, key: str) -> "TxnProgram":
+        self.steps.append(("rl", key))
+        return self
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+ProgramFactory = Callable[[int, Random], TxnProgram]
+
+
+class _SessionState:
+    __slots__ = ("session", "txn", "program", "position")
+
+    def __init__(self, session: Session) -> None:
+        self.session = session
+        self.txn: Optional[TxnHandle] = None
+        self.program: Optional[TxnProgram] = None
+        self.position = 0
+
+
+class InterleavedDriver:
+    """Runs transaction programs over a database with interleaving.
+
+    Parameters
+    ----------
+    database:
+        The target :class:`~repro.db.Database`.
+    n_sessions:
+        Number of concurrent client sessions.
+    seed:
+        Drives both the interleaving and the per-program randomness.
+    tick_oracle:
+        When the database uses a :class:`~repro.db.DecentralizedOracle`,
+        advance its physical clock every this many steps (None = never).
+    max_retries:
+        Abort-retry budget per committed transaction slot; exceeding it
+        raises, which would indicate a pathologically contended workload.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        n_sessions: int,
+        *,
+        seed: int = 0,
+        tick_oracle: Optional[int] = None,
+        max_retries: int = 200,
+    ) -> None:
+        if n_sessions < 1:
+            raise ValueError("n_sessions must be >= 1")
+        self._db = database
+        self._rng = Random(seed)
+        self._states = [_SessionState(database.session()) for _ in range(n_sessions)]
+        self._tick_every = tick_oracle
+        self._max_retries = max_retries
+        self.n_committed = 0
+        self.n_aborted = 0
+        self.n_steps = 0
+
+    @property
+    def sessions(self) -> Sequence[Session]:
+        return [state.session for state in self._states]
+
+    def run(self, factory: ProgramFactory, n_transactions: int) -> int:
+        """Execute until ``n_transactions`` commits; returns abort count.
+
+        ``factory(session_index, rng)`` must return a fresh program each
+        call; it is invoked again after an abort (retry with new intent,
+        the common client pattern).
+        """
+        remaining = n_transactions
+        retries = 0
+        # Sessions with work left; sessions are recycled round-robin into
+        # the pool so commits spread evenly.
+        while remaining > 0 or any(state.txn is not None for state in self._states):
+            state = self._rng.choice(self._states)
+            self.n_steps += 1
+            if self._tick_every is not None and self.n_steps % self._tick_every == 0:
+                tick = getattr(self._db.oracle, "tick", None)
+                if tick is not None:
+                    tick()
+
+            if state.txn is None:
+                if remaining <= 0:
+                    continue
+                remaining -= 1
+                state.program = factory(state.session.sid, self._rng)
+                state.txn = state.session.begin()
+                state.position = 0
+                continue
+
+            program = state.program
+            assert program is not None
+            if state.position < len(program.steps):
+                self._execute_step(state.txn, program.steps[state.position])
+                state.position += 1
+                continue
+
+            try:
+                self._db.commit(state.txn, state.session)
+                self.n_committed += 1
+                retries = 0
+            except TransactionAborted:
+                self.n_aborted += 1
+                retries += 1
+                if retries > self._max_retries:
+                    raise RuntimeError(
+                        "retry budget exhausted: workload is livelocked on conflicts"
+                    )
+                remaining += 1  # the slot must still produce a commit
+            state.txn = None
+            state.program = None
+        return self.n_aborted
+
+    def _execute_step(self, txn: TxnHandle, step: Step) -> None:
+        kind = step[0]
+        if kind == "r":
+            self._db.read(txn, step[1])
+        elif kind == "w":
+            self._db.write(txn, step[1], step[2])
+        elif kind == "a":
+            self._db.append(txn, step[1], step[2])
+        elif kind == "rl":
+            self._db.read_list(txn, step[1])
+        else:
+            raise ValueError(f"unknown step kind {kind!r}")

@@ -1,0 +1,78 @@
+"""The default workload parameter space (Table I).
+
+==============================  ==============================  =========
+Parameter                       Values                          Default
+==============================  ==============================  =========
+Number of sessions (#sess)      10, 20, 50, 100, 200            50
+Number of transactions (#txns)  5K, 100K, 200K, 500K, 1000K     100K
+Operations per txn (#ops/txn)   5, 15, 30, 50, 100              15
+Ratio of read operations        10%–90%                         50%
+Number of keys (#keys)          200–5000                        1000
+Key-access distribution         uniform, zipfian, hotspot       zipfian
+==============================  ==============================  =========
+
+"Hotspot" means 80% of operations target 20% of the keys (§V-A1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+from repro.db.engine import IsolationLevel
+
+__all__ = ["WorkloadSpec", "PARAMETER_GRID"]
+
+
+#: The exact value grids of Table I.
+PARAMETER_GRID: Dict[str, Tuple] = {
+    "n_sessions": (10, 20, 50, 100, 200),
+    "n_transactions": (5_000, 100_000, 200_000, 500_000, 1_000_000),
+    "ops_per_txn": (5, 15, 30, 50, 100),
+    "read_ratio": (0.10, 0.30, 0.50, 0.70, 0.90),
+    "n_keys": (200, 500, 1000, 2000, 5000),
+    "distribution": ("uniform", "zipfian", "hotspot"),
+}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One point in the Table I parameter space."""
+
+    n_sessions: int = 50
+    n_transactions: int = 100_000
+    ops_per_txn: int = 15
+    read_ratio: float = 0.5
+    n_keys: int = 1000
+    distribution: str = "zipfian"
+    isolation: IsolationLevel = IsolationLevel.SI
+    seed: int = 2025
+
+    def __post_init__(self) -> None:
+        if self.n_sessions < 1:
+            raise ValueError("n_sessions must be >= 1")
+        if self.n_transactions < 0:
+            raise ValueError("n_transactions must be >= 0")
+        if self.ops_per_txn < 1:
+            raise ValueError("ops_per_txn must be >= 1")
+        if not 0.0 <= self.read_ratio <= 1.0:
+            raise ValueError("read_ratio must be within [0, 1]")
+        if self.n_keys < 1:
+            raise ValueError("n_keys must be >= 1")
+        if self.distribution not in PARAMETER_GRID["distribution"]:
+            raise ValueError(
+                f"unknown distribution {self.distribution!r}; "
+                f"expected one of {PARAMETER_GRID['distribution']}"
+            )
+
+    def scaled(self, **overrides: object) -> "WorkloadSpec":
+        """A copy with the given fields replaced (sweep helper)."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+    def key_name(self, index: int) -> str:
+        """Canonical key naming shared by generator and tests."""
+        return f"k{index:06d}"
+
+    @property
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(self.key_name(i) for i in range(self.n_keys))

@@ -1,0 +1,85 @@
+"""Shared fixtures: canonical histories and workload specs.
+
+Histories used across many test modules are generated once per session.
+``paper_*`` fixtures reproduce the paper's worked examples (Fig 1, 2, 11)
+with the exact timestamps of the figures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.engine import IsolationLevel
+from repro.histories.builder import HistoryBuilder
+from repro.histories.ops import read, write
+from repro.workloads.generator import generate_default_history
+from repro.workloads.list_workload import generate_list_history
+from repro.workloads.spec import WorkloadSpec
+
+
+@pytest.fixture(scope="session")
+def si_history():
+    """A medium SI history from the default workload (valid under SI)."""
+    return generate_default_history(
+        WorkloadSpec(
+            n_sessions=12, n_transactions=1_500, ops_per_txn=10, n_keys=300, seed=101
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def ser_history():
+    """A history produced by the SER engine (valid under SER and SI)."""
+    return generate_default_history(
+        WorkloadSpec(
+            n_sessions=12,
+            n_transactions=1_000,
+            ops_per_txn=8,
+            n_keys=200,
+            isolation=IsolationLevel.SER,
+            seed=102,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def list_history():
+    """A list (append) history from the SI engine."""
+    return generate_list_history(
+        WorkloadSpec(
+            n_sessions=8, n_transactions=800, ops_per_txn=6, n_keys=80, seed=103
+        )
+    )
+
+
+@pytest.fixture
+def paper_fig1_history():
+    """Figure 1: a valid SI history (T0..T3)."""
+    builder = HistoryBuilder(with_init=False)
+    builder.txn(sid=1, tid=1, start=1, commit=2, ops=[write("x", 0), write("y", 0)])
+    builder.txn(sid=2, tid=2, start=3, commit=5, ops=[write("x", 1), write("y", 2)])
+    builder.txn(sid=3, tid=3, start=4, commit=6, ops=[read("x", 0)])
+    builder.txn(sid=4, tid=4, start=7, commit=8, ops=[read("y", 2)])
+    return builder.build()
+
+
+@pytest.fixture
+def paper_fig2_history():
+    """Figure 2: T3 and T5 conflict on y (NOCONFLICT violation)."""
+    builder = HistoryBuilder(keys=["x", "y"])
+    builder.txn(sid=1, tid=1, start=1, commit=2, ops=[write("x", 1)])
+    builder.txn(sid=2, tid=2, start=3, commit=5, ops=[write("x", 2)])
+    builder.txn(sid=3, tid=5, start=4, commit=7, ops=[read("x", 1), write("y", 1)])
+    builder.txn(sid=4, tid=3, start=6, commit=9, ops=[read("x", 2), write("y", 2)])
+    builder.txn(sid=5, tid=4, start=8, commit=10, ops=[read("y", 1)])
+    return builder.build()
+
+
+@pytest.fixture
+def paper_fig11_history():
+    """Figure 11: sequential commits where T3 reads a stale x."""
+    builder = HistoryBuilder(keys=["x"])
+    builder.txn(sid=1, tid=1, start=1, commit=2, ops=[write("x", 1)])
+    builder.txn(sid=2, tid=2, start=3, commit=4, ops=[write("x", 2)])
+    builder.txn(sid=3, tid=3, start=5, commit=6, ops=[read("x", 1)])
+    return builder.build()

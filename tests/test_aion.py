@@ -1,0 +1,182 @@
+"""Tests for Aion, the online SI checker (Algorithm 3)."""
+
+import pytest
+
+from repro.core.aion import Aion, AionConfig
+from repro.core.chronos import Chronos
+from repro.core.reference import normalize_violations
+from repro.core.violations import Axiom
+from repro.histories.builder import HistoryBuilder
+from repro.histories.ops import append, read, write
+from repro.online.clock import SimClock
+
+
+def make_aion(timeout=float("inf"), clock=None):
+    return Aion(AionConfig(timeout=timeout), clock=clock or (lambda: 0.0))
+
+
+def feed(aion, txns):
+    for txn in txns:
+        aion.receive(txn)
+    return aion.finalize()
+
+
+class TestInOrderEquivalence:
+    def test_fig2_in_order(self, paper_fig2_history):
+        aion = make_aion()
+        result = feed(aion, paper_fig2_history.transactions)
+        chronos = Chronos().check(paper_fig2_history)
+        assert normalize_violations(result) == normalize_violations(chronos)
+
+    def test_engine_history_in_commit_order(self, si_history):
+        aion = make_aion()
+        result = feed(aion, si_history.by_commit_ts())
+        assert result.is_valid
+        assert aion.processed == len(si_history)
+
+
+class TestOutOfOrderRechecking:
+    def test_example5_late_t5(self, paper_fig2_history):
+        """The paper's Example 5: T5 arrives last and triggers both
+        re-checks — NOCONFLICT with T3 and EXT re-justification of T4."""
+        txns = {t.tid: t for t in paper_fig2_history.transactions}
+        order = [txns[0], txns[1], txns[2], txns[3], txns[4], txns[5]]
+        aion = make_aion()
+        result = feed(aion, order)
+        conflicts = result.by_axiom(Axiom.NOCONFLICT)
+        assert len(conflicts) == 1
+        assert conflicts[0].tid == 5 and conflicts[0].conflicting_tids == frozenset({3})
+        # T4's read of y=1 was a transient false alarm, cleared by T5.
+        assert not result.by_axiom(Axiom.EXT)
+        stats = aion.flipflop_stats
+        assert stats.flipped_tids == {4}
+        assert stats.flips_per_pair == {1: 1}
+
+    def test_late_writer_fixes_pending_read(self):
+        b = HistoryBuilder(keys=["x"])
+        writer = b.txn(sid=1, start=1, commit=2, ops=[write("x", 1)])
+        reader = b.txn(sid=2, start=3, commit=3, ops=[read("x", 1)])
+        history = b.build()
+        aion = make_aion()
+        result = feed(aion, [history.init_transaction, reader, writer])
+        assert result.is_valid
+
+    def test_late_writer_breaks_satisfied_read(self):
+        # Reader initially matches the init value; a late intermediate
+        # writer makes the read stale.
+        b = HistoryBuilder(keys=["x"])
+        writer = b.txn(sid=1, start=1, commit=2, ops=[write("x", 1)])
+        reader = b.txn(sid=2, start=3, commit=3, ops=[read("x", 0)])
+        history = b.build()
+        aion = make_aion()
+        result = feed(aion, [history.init_transaction, reader, writer])
+        ext = result.by_axiom(Axiom.EXT)
+        assert len(ext) == 1
+        assert ext[0].tid == reader.tid and ext[0].expected == 1
+
+    def test_late_conflicting_writer(self):
+        b = HistoryBuilder(keys=["x"])
+        t1 = b.txn(sid=1, tid=1, start=1, commit=4, ops=[write("x", 1)])
+        t2 = b.txn(sid=2, tid=2, start=2, commit=5, ops=[write("x", 2)])
+        history = b.build()
+        aion = make_aion()
+        result = feed(aion, [history.init_transaction, t2, t1])
+        conflicts = result.by_axiom(Axiom.NOCONFLICT)
+        assert len(conflicts) == 1
+        assert conflicts[0].tid == 1  # attributed to the earlier commit
+
+    def test_rechecking_stops_at_overwrite(self):
+        """A late writer only re-justifies reads before the next version
+        of the key (the paper's third optimization)."""
+        b = HistoryBuilder(keys=["x"])
+        late = b.txn(sid=1, tid=1, start=1, commit=2, ops=[write("x", 1)])
+        over = b.txn(sid=2, tid=2, start=3, commit=4, ops=[write("x", 2)])
+        reader = b.txn(sid=3, tid=3, start=5, commit=5, ops=[read("x", 2)])
+        history = b.build()
+        aion = make_aion()
+        # The reader of x=2 is evaluated against `over`; when `late`
+        # arrives its snapshot must NOT be re-pointed at the older write.
+        result = feed(aion, [history.init_transaction, over, reader, late])
+        assert result.is_valid
+        assert aion.flipflop_stats.flipped_tids == set()
+
+
+class TestTimeouts:
+    def test_violation_reported_after_timeout(self):
+        clock = SimClock()
+        aion = Aion(AionConfig(timeout=5.0), clock=clock)
+        b = HistoryBuilder(keys=["x"])
+        reader = b.txn(sid=1, start=1, commit=1, ops=[read("x", 42)])
+        history = b.build()
+        aion.receive(history.init_transaction)
+        aion.receive(reader)
+        assert aion.poll() == []  # tentative, not reported
+        clock.advance(5.1)
+        fresh = aion.poll()
+        assert [v.axiom for v in fresh] == [Axiom.EXT]
+
+    def test_timeout_expired_verdict_is_final(self):
+        clock = SimClock()
+        aion = Aion(AionConfig(timeout=1.0), clock=clock)
+        b = HistoryBuilder(keys=["x"])
+        writer = b.txn(sid=1, start=1, commit=2, ops=[write("x", 1)])
+        reader = b.txn(sid=2, start=3, commit=3, ops=[read("x", 1)])
+        history = b.build()
+        aion.receive(history.init_transaction)
+        aion.receive(reader)
+        clock.advance(2.0)  # reader's timeout expires before writer shows
+        aion.receive(writer)
+        result = aion.finalize()
+        # A (false) EXT violation was finalized; the late writer cannot
+        # retract it (Algorithm 3, lines 40-41).
+        assert len(result.by_axiom(Axiom.EXT)) == 1
+
+    def test_int_reported_immediately(self):
+        aion = make_aion()
+        b = HistoryBuilder(keys=["x"])
+        bad = b.txn(sid=1, ops=[write("x", 1), read("x", 2)])
+        history = b.build()
+        aion.receive(history.init_transaction)
+        aion.receive(bad)
+        assert [v.axiom for v in aion.poll()] == [Axiom.INT]
+
+
+class TestInputHandling:
+    def test_eq1_violation_reported_and_skipped(self):
+        aion = make_aion()
+        b = HistoryBuilder(keys=["x"])
+        bad = b.txn(sid=1, start=9, commit=3, ops=[write("x", 1)])
+        history = b.build()
+        aion.receive(history.init_transaction)
+        aion.receive(bad)
+        result = aion.finalize()
+        assert [v.axiom for v in result.violations] == [Axiom.TS_ORDER]
+        assert aion.resident_txn_count == 1  # only ⊥T retained
+
+    def test_append_rejected(self):
+        aion = make_aion()
+        b = HistoryBuilder(with_init=False)
+        txn = b.txn(sid=1, ops=[append("l", 1)])
+        with pytest.raises(ValueError, match="offline"):
+            aion.receive(txn)
+
+    def test_session_violation_online(self):
+        aion = make_aion()
+        b = HistoryBuilder(keys=["x"])
+        b.txn(sid=1, sno=0, ops=[write("x", 1)])
+        skipped = b.txn(sid=1, sno=3, ops=[write("x", 2)])
+        history = b.build()
+        feed(aion, history.transactions)
+        assert aion.result.by_axiom(Axiom.SESSION)
+        assert aion.result.by_axiom(Axiom.SESSION)[0].tid == skipped.tid
+
+    def test_poll_drains_once(self):
+        aion = make_aion()
+        b = HistoryBuilder(keys=["x"])
+        bad = b.txn(sid=1, ops=[write("x", 1), read("x", 2)])
+        history = b.build()
+        aion.receive(history.init_transaction)
+        aion.receive(bad)
+        assert len(aion.poll()) == 1
+        assert aion.poll() == []
+        assert len(aion.result.violations) == 1

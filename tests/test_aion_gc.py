@@ -1,0 +1,154 @@
+"""Tests for Aion's garbage collection, spilling and reload-on-demand."""
+
+from repro.core.aion import Aion, AionConfig
+from repro.core.aion_ser import AionSer
+from repro.core.chronos import Chronos
+from repro.core.chronos_ser import ChronosSer
+from repro.core.reference import normalize_violations
+from repro.histories.builder import HistoryBuilder
+from repro.histories.ops import read, write
+from repro.workloads.generator import generate_default_history
+from repro.workloads.spec import WorkloadSpec
+
+
+def make_aion():
+    return Aion(AionConfig(timeout=float("inf")), clock=lambda: 0.0)
+
+
+class TestCollectBelow:
+    def test_gc_empties_resident_set(self, si_history):
+        aion = make_aion()
+        for txn in si_history.by_commit_ts():
+            aion.receive(txn)
+        before = aion.resident_txn_count
+        report = aion.collect_below(None)
+        assert before == len(si_history)
+        assert report.evicted_txns == before
+        assert aion.resident_txn_count == 0
+        assert aion.spill_store is not None
+        assert aion.spill_store.spill_count == 1
+        aion.close()
+
+    def test_gc_noop_when_empty(self):
+        aion = make_aion()
+        report = aion.collect_below(None)
+        assert report.effective_ts == -1
+        assert report.evicted_txns == 0
+
+    def test_suggest_gc_ts_keeps_margin(self, si_history):
+        aion = make_aion()
+        for txn in si_history.by_commit_ts():
+            aion.receive(txn)
+        target = aion.suggest_gc_ts(keep_recent=100)
+        assert target is not None
+        aion.collect_below(target)
+        assert aion.resident_txn_count == 100
+        assert aion.suggest_gc_ts(keep_recent=1000) is None  # margin covers all
+        aion.close()
+
+    def test_queries_after_gc_remain_exact(self):
+        """Keep-newest: visibility above the watermark stays correct."""
+        b = HistoryBuilder(keys=["x"])
+        b.txn(sid=1, start=1, commit=2, ops=[write("x", 1)])
+        b.txn(sid=2, start=3, commit=4, ops=[write("x", 2)])
+        history = b.build()
+        aion = make_aion()
+        for txn in history.transactions:
+            aion.receive(txn)
+        aion.collect_below(None)
+        # A reader above the boundary still sees the kept newest version.
+        reader = HistoryBuilder(keys=["x"])
+        reader.txn(sid=3, start=10, commit=10, ops=[read("x", 2)])
+        late = reader.build().transactions[-1]
+        aion.receive(late)
+        assert aion.finalize().is_valid
+        aion.close()
+
+    def test_delayed_txn_triggers_reload(self):
+        b = HistoryBuilder(keys=["x"])
+        b.txn(sid=1, start=1, commit=2, ops=[write("x", 1)])
+        b.txn(sid=2, start=10, commit=11, ops=[write("x", 2)])
+        history = b.build()
+        delayed_builder = HistoryBuilder(keys=["x"])
+        delayed_builder.txn(sid=3, start=3, commit=3, ops=[read("x", 1)], tid=77)
+        delayed = delayed_builder.build().transactions[-1]
+
+        aion = make_aion()
+        for txn in history.transactions:
+            aion.receive(txn)
+        aion.collect_below(None)
+        assert aion.spill_store.spill_count == 1
+        # The delayed reader's snapshot (ts 3) is below the GC boundary:
+        # the true floor (x=1 at ts 2) was spilled and must be reloaded.
+        aion.receive(delayed)
+        result = aion.finalize()
+        assert result.is_valid
+        assert aion.spill_store.reload_count >= 1
+        aion.close()
+
+    def test_delayed_conflict_detected_after_gc(self):
+        b = HistoryBuilder(keys=["x"])
+        b.txn(sid=1, tid=1, start=1, commit=5, ops=[write("x", 1)])
+        b.txn(sid=2, tid=2, start=10, commit=11, ops=[write("x", 2)])
+        history = b.build()
+        overlap_builder = HistoryBuilder(keys=["x"])
+        overlap_builder.txn(sid=3, tid=88, start=2, commit=3, ops=[write("y", 9)])
+        late = overlap_builder.build().transactions[-1]
+        # `late` overlaps txn 1 in time but writes a different key — then
+        # a second late txn overlaps on the same key.
+        conflict_builder = HistoryBuilder(keys=["x"])
+        conflict_builder.txn(sid=4, tid=99, start=2, commit=4, ops=[write("x", 3)])
+        conflicting = conflict_builder.build().transactions[-1]
+
+        aion = make_aion()
+        for txn in history.transactions:
+            aion.receive(txn)
+        aion.collect_below(None)
+        aion.receive(late)
+        aion.receive(conflicting)
+        result = aion.finalize()
+        pairs = {
+            frozenset({v.tid, next(iter(v.conflicting_tids))})
+            for v in result.violations
+            if v.axiom.value == "NOCONFLICT"
+        }
+        assert frozenset({1, 99}) in pairs
+        aion.close()
+
+
+class TestDifferentialWithGc:
+    def test_aggressive_gc_preserves_verdicts(self):
+        history = generate_default_history(
+            WorkloadSpec(n_sessions=8, n_transactions=600, ops_per_txn=8, n_keys=120, seed=77)
+        )
+        offline = normalize_violations(Chronos().check(history))
+        aion = make_aion()
+        for index, txn in enumerate(history.by_commit_ts()):
+            aion.receive(txn)
+            if index % 50 == 49:
+                aion.collect_below(None)
+        assert normalize_violations(aion.finalize()) == offline
+        aion.close()
+
+    def test_aion_ser_gc_preserves_verdicts(self):
+        history = generate_default_history(
+            WorkloadSpec(n_sessions=8, n_transactions=500, ops_per_txn=8, n_keys=120, seed=78)
+        )
+        offline = normalize_violations(ChronosSer().check(history))
+        ser = AionSer(AionConfig(timeout=float("inf")), clock=lambda: 0.0)
+        for index, txn in enumerate(history.by_commit_ts()):
+            ser.receive(txn)
+            if index % 50 == 49:
+                ser.collect_below(None)
+        assert normalize_violations(ser.finalize()) == offline
+        ser.close()
+
+    def test_estimated_bytes_drops_after_gc(self, si_history):
+        aion = make_aion()
+        for txn in si_history.by_commit_ts():
+            aion.receive(txn)
+        before = aion.estimated_bytes()
+        aion.collect_below(None)
+        after = aion.estimated_bytes()
+        assert after < before
+        aion.close()

@@ -1,0 +1,70 @@
+"""Cross-checker anomaly matrix over the canonical anomaly zoo."""
+
+import pytest
+
+from repro.baselines.emme import EmmeSer, EmmeSi
+from repro.baselines.polysi import PolySi
+from repro.baselines.viper import Viper
+from repro.core.aion import Aion, AionConfig
+from repro.core.chronos import Chronos
+from repro.core.chronos_ser import ChronosSer
+from repro.histories.anomalies import ANOMALY_CATALOG
+
+
+@pytest.mark.parametrize("name", sorted(ANOMALY_CATALOG))
+class TestTimestampCheckers:
+    def test_chronos_matches_ground_truth(self, name):
+        spec = ANOMALY_CATALOG[name]
+        result = Chronos().check(spec.build())
+        assert result.is_valid == spec.si_admissible, result.summary()
+        if spec.si_axiom is not None:
+            assert result.by_axiom(spec.si_axiom), (
+                f"{name}: expected {spec.si_axiom.value}, got {result.summary()}"
+            )
+
+    def test_emme_si_matches_ground_truth(self, name):
+        spec = ANOMALY_CATALOG[name]
+        result = EmmeSi().check(spec.build())
+        assert result.is_valid == spec.si_admissible, result.summary()
+
+    def test_chronos_ser_matches_ground_truth(self, name):
+        spec = ANOMALY_CATALOG[name]
+        result = ChronosSer().check(spec.build())
+        assert result.is_valid == spec.ser_admissible, result.summary()
+
+    def test_aion_matches_chronos(self, name):
+        spec = ANOMALY_CATALOG[name]
+        history = spec.build()
+        aion = Aion(AionConfig(timeout=float("inf")), clock=lambda: 0.0)
+        for txn in history:
+            aion.receive(txn)
+        result = aion.finalize()
+        aion.close()
+        assert result.is_valid == spec.si_admissible, (name, result.summary())
+
+
+@pytest.mark.parametrize("name", sorted(ANOMALY_CATALOG))
+def test_blackbox_checkers_sound(name):
+    """Black-box checkers never reject an SI-admissible history, and can
+    miss only the anomalies that depend on timestamps (stale/dirty reads
+    rendered plausible by reordering)."""
+    spec = ANOMALY_CATALOG[name]
+    may_miss = {"stale-sequential-read", "dirty-read", "fractured-read", "long-fork"}
+    for checker in (PolySi(), Viper()):
+        verdict = checker.check(spec.build()).is_valid
+        if spec.si_admissible:
+            assert verdict, (name, type(checker).__name__)
+        elif name not in may_miss:
+            assert not verdict, (name, type(checker).__name__)
+
+
+def test_catalog_covers_all_axioms():
+    axioms = {spec.si_axiom for spec in ANOMALY_CATALOG.values() if spec.si_axiom}
+    from repro.core.violations import Axiom
+
+    assert {Axiom.EXT, Axiom.INT, Axiom.NOCONFLICT} <= axioms
+
+
+def test_write_skew_is_the_si_ser_separator():
+    spec = ANOMALY_CATALOG["write-skew"]
+    assert spec.si_admissible and not spec.ser_admissible

@@ -1,0 +1,298 @@
+"""Tests for the baseline checkers: Elle, Emme, PolySI, Viper, Cobra."""
+
+import pytest
+
+from repro.baselines.cobra import CobraChecker, CobraConfig
+from repro.baselines.depgraph import DependencyGraph, VersionOrderError, build_si_split_graph
+from repro.baselines.elle import ElleKV, ElleList
+from repro.baselines.emme import EmmeSer, EmmeSi, recover_version_order
+from repro.baselines.polysi import PolySi
+from repro.baselines.solver import AcyclicitySolver, Choice
+from repro.baselines.viper import Viper
+from repro.core.chronos import Chronos
+from repro.core.violations import Axiom
+from repro.db.engine import IsolationLevel
+from repro.histories.builder import HistoryBuilder
+from repro.histories.ops import append, read, read_list, write
+from repro.workloads.generator import generate_default_history
+from repro.workloads.list_workload import generate_list_history
+from repro.workloads.spec import WorkloadSpec
+
+
+def small_si_history(seed=31, n=200):
+    return generate_default_history(
+        WorkloadSpec(
+            n_sessions=6, n_transactions=n, ops_per_txn=6, n_keys=80,
+            distribution="uniform", seed=seed,
+        )
+    )
+
+
+def lost_update_history():
+    b = HistoryBuilder(keys=["x"])
+    b.txn(sid=1, start=1, commit=3, ops=[read("x", 0), write("x", 1)])
+    b.txn(sid=2, start=2, commit=4, ops=[read("x", 0), write("x", 2)])
+    return b.build()
+
+
+def write_skew_history():
+    b = HistoryBuilder(keys=["x", "y"])
+    b.txn(sid=1, start=1, commit=3, ops=[read("x", 0), write("y", 1)])
+    b.txn(sid=2, start=2, commit=4, ops=[read("y", 0), write("x", 2)])
+    return b.build()
+
+
+class TestSolver:
+    def test_fixed_cycle_unsat(self):
+        solver = AcyclicitySolver()
+        solver.add_fixed_edge("a", "b")
+        solver.add_fixed_edge("b", "a")
+        assert solver.solve() is None
+
+    def test_no_choices_sat(self):
+        solver = AcyclicitySolver()
+        solver.add_fixed_edge("a", "b")
+        assert solver.solve() == {}
+
+    def test_forced_choice(self):
+        solver = AcyclicitySolver()
+        solver.add_fixed_edge("a", "b")
+        solver.add_choice(Choice("v", if_true=[("b", "a")], if_false=[("a", "c")]))
+        assert solver.solve() == {"v": False}
+
+    def test_backtracking_needed(self):
+        # v1=True forces a constraint that only v2=False satisfies, etc.
+        solver = AcyclicitySolver()
+        solver.add_choice(Choice("v1", if_true=[("a", "b")], if_false=[("b", "a")]))
+        solver.add_choice(Choice("v2", if_true=[("b", "c")], if_false=[("c", "b")]))
+        solver.add_choice(Choice("v3", if_true=[("c", "a")], if_false=[("a", "c")]))
+        assignment = solver.solve()
+        assert assignment is not None
+        # The assignment must avoid the 3-cycle a->b->c->a.
+        assert not (assignment["v1"] and assignment["v2"] and assignment["v3"])
+
+    def test_unsat_combination(self):
+        solver = AcyclicitySolver()
+        solver.add_fixed_edge("a", "b")
+        solver.add_fixed_edge("b", "c")
+        solver.add_choice(Choice("v", if_true=[("c", "a")], if_false=[("c", "a")]))
+        assert solver.solve() is None
+
+
+class TestDepGraph:
+    def test_split_graph_single_rw_cycle_detected(self):
+        graph = build_si_split_graph([1, 2], dep_edges=[(1, 2)], rw_edges=[(2, 1)])
+        import networkx as nx
+
+        assert not nx.is_directed_acyclic_graph(graph)
+
+    def test_split_graph_pure_rw_cycle_allowed(self):
+        graph = build_si_split_graph([1, 2], dep_edges=[], rw_edges=[(1, 2), (2, 1)])
+        import networkx as nx
+
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_version_order_validation(self):
+        history = lost_update_history()
+        graph = DependencyGraph(history)
+        with pytest.raises(VersionOrderError):
+            graph.edges_for_version_order({"x": [1]})  # missing writers
+
+    def test_unjustified_read_reported(self):
+        b = HistoryBuilder(keys=["x"])
+        b.txn(sid=1, start=1, commit=1, ops=[read("x", 777)])
+        graph = DependencyGraph(b.build())
+        graph.resolve_reads()
+        assert graph.result.by_axiom(Axiom.EXT)
+
+    def test_intermediate_read_reported(self):
+        b = HistoryBuilder(keys=["x"])
+        b.txn(sid=1, start=1, commit=2, ops=[write("x", 1), write("x", 2)])
+        b.txn(sid=2, start=3, commit=3, ops=[read("x", 1)])  # non-final write
+        graph = DependencyGraph(b.build())
+        graph.resolve_reads()
+        assert graph.result.by_axiom(Axiom.EXT)
+
+
+class TestEmme:
+    def test_recover_version_order(self):
+        b = HistoryBuilder(keys=["x"])
+        b.txn(sid=1, tid=1, start=1, commit=9, ops=[write("x", 1)])
+        b.txn(sid=2, tid=2, start=2, commit=5, ops=[write("x", 2)])
+        order = recover_version_order(b.build())
+        assert order["x"] == [0, 2, 1]  # ⊥T, then by commit timestamp
+
+    def test_valid_si_history_accepted(self, si_history):
+        assert EmmeSi().check(si_history).is_valid
+
+    def test_fig11_rejected(self, paper_fig11_history):
+        assert not EmmeSi().check(paper_fig11_history).is_valid
+
+    def test_fig2_conflict_found(self, paper_fig2_history):
+        result = EmmeSi().check(paper_fig2_history)
+        assert result.by_axiom(Axiom.NOCONFLICT)
+
+    def test_lost_update_rejected(self):
+        assert not EmmeSi().check(lost_update_history()).is_valid
+
+    def test_write_skew_si_legal_ser_illegal(self):
+        history = write_skew_history()
+        assert EmmeSi().check(history).is_valid
+        assert not EmmeSer().check(history).is_valid
+
+    def test_ser_engine_history_accepted_by_emme_ser(self, ser_history):
+        assert EmmeSer().check(ser_history).is_valid
+
+
+class TestElle:
+    def test_elle_kv_accepts_valid(self):
+        assert ElleKV().check(small_si_history()).is_valid
+
+    def test_elle_kv_black_box_accepts_fig11(self, paper_fig11_history):
+        # Elle cannot see timestamps: the stale read is undetectable.
+        assert ElleKV().check(paper_fig11_history).is_valid
+
+    def test_elle_kv_detects_wr_so_cycle(self):
+        b = HistoryBuilder(keys=["x", "y"])
+        # Session 1: T1 writes x, then T3 reads y=2 (from T2).
+        # Session 2: T2 reads x=1 (from T1) then writes y.
+        # Cycle: T1 -SO-> T3 -?-... build a genuine WR∪SO cycle:
+        # T1 -WR-> T2 (T2 reads T1's x), T2 -WR-> T3 (T3 reads T2's y),
+        # T3 -SO-> T1 is impossible (SO is forward) so use sessions:
+        # put T3 *before* T1 in one session and let T3 read T2's y.
+        b.txn(sid=1, tid=3, start=1, commit=2, ops=[read("y", 7)])
+        b.txn(sid=1, tid=1, start=3, commit=4, ops=[write("x", 5)])
+        b.txn(sid=2, tid=2, start=5, commit=6, ops=[read("x", 5), write("y", 7)])
+        result = ElleKV().check(b.build())
+        assert not result.is_valid
+
+    def test_elle_list_accepts_valid(self, list_history):
+        assert ElleList().check(list_history).is_valid
+
+    def test_elle_list_detects_nonprefix_reads(self):
+        b = HistoryBuilder(with_init=False)
+        b.txn(sid=1, start=1, commit=2, ops=[append("l", 1)])
+        b.txn(sid=2, start=3, commit=4, ops=[append("l", 2)])
+        b.txn(sid=3, start=5, commit=5, ops=[read_list("l", [1, 2])])
+        b.txn(sid=4, start=6, commit=6, ops=[read_list("l", [2])])  # not a prefix
+        assert not ElleList().check(b.build()).is_valid
+
+    def test_elle_list_detects_unknown_element(self):
+        b = HistoryBuilder(with_init=False)
+        b.txn(sid=1, start=1, commit=2, ops=[append("l", 1)])
+        b.txn(sid=2, start=3, commit=3, ops=[read_list("l", [1, 99])])
+        assert not ElleList().check(b.build()).is_valid
+
+    def test_elle_list_ser_mode_flags_rw_cycle(self):
+        # Two sessions each read the other's key before the append lands:
+        # classic write-skew-ish 2-RW cycle — legal SI, illegal SER.
+        b = HistoryBuilder(with_init=False)
+        b.txn(sid=1, start=1, commit=3, ops=[read_list("k2", []), append("k1", 1)])
+        b.txn(sid=2, start=2, commit=4, ops=[read_list("k1", []), append("k2", 2)])
+        history = b.build()
+        assert ElleList(mode="si").check(history).is_valid
+        assert not ElleList(mode="ser").check(history).is_valid
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            ElleList(mode="other")
+
+
+class TestPolySiViper:
+    @pytest.fixture(scope="class")
+    def valid_history(self):
+        return small_si_history(seed=32, n=120)
+
+    def test_polysi_accepts_valid(self, valid_history):
+        assert PolySi().check(valid_history).is_valid
+
+    def test_viper_accepts_valid(self, valid_history):
+        assert Viper().check(valid_history).is_valid
+
+    def test_both_accept_fig11(self, paper_fig11_history):
+        assert PolySi().check(paper_fig11_history).is_valid
+        assert Viper().check(paper_fig11_history).is_valid
+
+    def test_both_reject_lost_update(self):
+        history = lost_update_history()
+        assert not PolySi().check(history).is_valid
+        assert not Viper().check(history).is_valid
+
+    def test_both_accept_write_skew(self):
+        history = write_skew_history()
+        assert PolySi().check(history).is_valid
+        assert Viper().check(history).is_valid
+
+    def test_choice_counts_reported(self, valid_history):
+        checker = PolySi()
+        checker.check(valid_history)
+        assert checker.n_choices > 0
+        assert checker.solve_seconds >= 0
+
+
+class TestCobra:
+    def _stream(self, history):
+        return history.by_commit_ts()
+
+    def test_accepts_ser_history(self, ser_history):
+        cobra = CobraChecker(CobraConfig(fence_every=20, round_size=300))
+        for txn in self._stream(ser_history):
+            cobra.receive(txn)
+        assert cobra.finalize().is_valid
+        assert cobra.rounds_checked >= 3
+
+    def test_stops_at_first_violation(self, si_history):
+        cobra = CobraChecker(CobraConfig(fence_every=20, round_size=200))
+        processed = 0
+        for txn in self._stream(si_history):
+            cobra.receive(txn)
+            processed += 1
+            if cobra.stopped:
+                break
+        assert cobra.stopped
+        assert processed < len(si_history)
+        assert not cobra.result.is_valid
+        # Further input is ignored after the stop.
+        cobra.receive(self._stream(si_history)[0])
+        assert len(cobra.result.violations) == 1
+
+    def test_cross_round_reads_resolve_via_frontier(self, ser_history):
+        cobra = CobraChecker(CobraConfig(fence_every=10, round_size=50))
+        for txn in self._stream(ser_history):
+            cobra.receive(txn)
+        assert cobra.finalize().is_valid
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CobraConfig(fence_every=0)
+        with pytest.raises(ValueError):
+            CobraConfig(round_size=0)
+
+
+class TestCrossCheckerAgreement:
+    """All SI checkers agree on engine histories and canonical anomalies."""
+
+    def test_all_accept_engine_si_history(self):
+        history = small_si_history(seed=33, n=100)
+        for checker in (Chronos(), EmmeSi(), ElleKV(), PolySi(), Viper()):
+            assert checker.check(history).is_valid, type(checker).__name__
+
+    def test_timestamp_checkers_reject_skewed(self):
+        from repro.db.faults import SkewedOracle
+        from repro.db.oracle import CentralizedOracle
+
+        oracle = SkewedOracle(CentralizedOracle(), probability=0.1, max_skew=100)
+        history = generate_default_history(
+            WorkloadSpec(n_sessions=6, n_transactions=400, ops_per_txn=8,
+                         n_keys=50, seed=34),
+            oracle=oracle,
+        )
+        assert not Chronos().check(history).is_valid
+        assert not EmmeSi().check(history).is_valid
+
+    def test_chronos_elle_agree_on_lists(self):
+        history = generate_list_history(
+            WorkloadSpec(n_sessions=5, n_transactions=300, ops_per_txn=6, n_keys=30, seed=35)
+        )
+        assert Chronos().check(history).is_valid
+        assert ElleList().check(history).is_valid

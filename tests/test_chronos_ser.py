@@ -1,0 +1,107 @@
+"""Tests for Chronos-SER, the offline serializability checker."""
+
+from repro.core.chronos import Chronos
+from repro.core.chronos_ser import ChronosSer
+from repro.core.violations import Axiom
+from repro.histories.builder import HistoryBuilder
+from repro.histories.ops import append, read, read_list, write
+
+
+def check(history):
+    return ChronosSer().check(history)
+
+
+class TestSerialOrder:
+    def test_serial_history_valid(self):
+        b = HistoryBuilder(keys=["x"])
+        b.txn(sid=1, start=1, commit=2, ops=[write("x", 1)])
+        b.txn(sid=2, start=3, commit=4, ops=[read("x", 1), write("x", 2)])
+        b.txn(sid=3, start=5, commit=5, ops=[read("x", 2)])
+        assert check(b.build()).is_valid
+
+    def test_stale_snapshot_read_violates_ser(self):
+        # SI-legal but not serializable in commit order: reader's snapshot
+        # predates a concurrent writer that commits first.
+        b = HistoryBuilder(keys=["x"])
+        b.txn(sid=1, tid=1, start=1, commit=4, ops=[write("x", 1)])
+        b.txn(sid=2, tid=2, start=2, commit=5, ops=[read("x", 0)])
+        result = check(b.build())
+        ext = result.by_axiom(Axiom.EXT)
+        assert len(ext) == 1 and ext[0].tid == 2
+        # ... while the same history satisfies SI.
+        b2 = HistoryBuilder(keys=["x"])
+        b2.txn(sid=1, tid=1, start=1, commit=4, ops=[write("x", 1)])
+        b2.txn(sid=2, tid=2, start=2, commit=5, ops=[read("x", 0)])
+        assert Chronos().check(b2.build()).is_valid
+
+    def test_write_skew_violates_ser(self):
+        b = HistoryBuilder(keys=["x", "y"])
+        b.txn(sid=1, start=1, commit=3, ops=[read("x", 0), write("y", 1)])
+        b.txn(sid=2, start=2, commit=4, ops=[read("y", 0), write("x", 2)])
+        result = check(b.build())
+        # In commit order, the second transaction must see y=1.
+        assert result.by_axiom(Axiom.EXT)
+
+    def test_start_timestamps_ignored(self):
+        # Wildly overlapping lifetimes are fine as long as values follow
+        # the serial commit order.
+        b = HistoryBuilder(keys=["x"])
+        b.txn(sid=1, start=1, commit=10, ops=[write("x", 1)])
+        b.txn(sid=2, start=2, commit=11, ops=[read("x", 1), write("x", 2)])
+        assert check(b.build()).is_valid
+
+
+class TestSessionUnderSer:
+    def test_commit_order_must_respect_session(self):
+        b = HistoryBuilder(keys=["x"])
+        b.txn(sid=1, sno=0, start=5, commit=6, ops=[write("x", 1)])
+        b.txn(sid=1, sno=1, start=1, commit=2, ops=[write("x", 2)])  # commits first
+        result = check(b.build())
+        assert result.by_axiom(Axiom.SESSION)
+
+    def test_sno_gap(self):
+        b = HistoryBuilder(keys=["x"])
+        b.txn(sid=1, sno=0, ops=[write("x", 1)])
+        b.txn(sid=1, sno=5, ops=[write("x", 2)])
+        assert check(b.build()).by_axiom(Axiom.SESSION)
+
+
+class TestIntUnderSer:
+    def test_internal_semantics_identical(self):
+        b = HistoryBuilder(keys=["x"])
+        b.txn(sid=1, ops=[write("x", 1), read("x", 9)])
+        result = check(b.build())
+        assert [v.axiom for v in result.violations] == [Axiom.INT]
+
+
+class TestListsUnderSer:
+    def test_serial_appends(self):
+        b = HistoryBuilder(with_init=False)
+        b.txn(sid=1, start=1, commit=2, ops=[append("l", 1)])
+        b.txn(sid=2, start=3, commit=4, ops=[append("l", 2), read_list("l", [1, 2])])
+        assert check(b.build()).is_valid
+
+    def test_stale_list_read(self):
+        b = HistoryBuilder(with_init=False)
+        b.txn(sid=1, start=1, commit=2, ops=[append("l", 1)])
+        b.txn(sid=2, start=3, commit=4, ops=[read_list("l", [])])  # misses element 1
+        assert check(b.build()).by_axiom(Axiom.EXT)
+
+
+class TestEngineHistories:
+    def test_ser_engine_history_valid(self, ser_history):
+        assert check(ser_history).is_valid
+
+    def test_si_engine_history_fails_ser(self, si_history):
+        result = check(si_history)
+        assert not result.is_valid
+        assert result.by_axiom(Axiom.EXT)
+
+    def test_ser_history_also_satisfies_si(self, ser_history):
+        assert Chronos().check(ser_history).is_valid
+
+    def test_report_populated(self, ser_history):
+        checker = ChronosSer()
+        checker.check(ser_history)
+        assert checker.report.n_transactions == len(ser_history)
+        assert checker.report.check_seconds > 0

@@ -1,0 +1,101 @@
+"""Tests for the CLI (`python -m repro`) and the example scripts."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+class TestCli:
+    def test_generate_and_stats(self, tmp_path, capsys):
+        out = tmp_path / "h.jsonl"
+        assert main([
+            "generate", "--txns", "200", "--sessions", "4", "--keys", "40",
+            "--out", str(out),
+        ]) == 0
+        assert out.exists()
+        assert main(["stats", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "transactions : 200" in captured
+
+    def test_check_valid_history_exit_zero(self, tmp_path, capsys):
+        out = tmp_path / "h.jsonl"
+        main(["generate", "--txns", "150", "--sessions", "4", "--keys", "30",
+              "--out", str(out)])
+        assert main(["check", str(out), "--level", "si"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_check_ser_on_si_history_exit_one(self, tmp_path):
+        out = tmp_path / "h.jsonl"
+        main(["generate", "--txns", "300", "--sessions", "8", "--keys", "30",
+              "--out", str(out)])
+        assert main(["check", str(out), "--level", "ser"]) == 1
+
+    def test_inject_then_check_finds_faults(self, tmp_path, capsys):
+        clean = tmp_path / "clean.jsonl"
+        bad = tmp_path / "bad.jsonl"
+        main(["generate", "--txns", "300", "--sessions", "6", "--keys", "50",
+              "--out", str(clean)])
+        assert main(["inject", str(clean), "--faults", "4", "--out", str(bad)]) == 0
+        assert main(["check", str(bad)]) == 1
+        assert "VIOLATIONS" in capsys.readouterr().out
+
+    def test_online_check(self, tmp_path, capsys):
+        out = tmp_path / "h.jsonl"
+        main(["generate", "--txns", "300", "--sessions", "6", "--keys", "50",
+              "--out", str(out)])
+        assert main(["check", str(out), "--level", "si", "--online"]) == 0
+        assert "online SI" in capsys.readouterr().out
+
+    def test_generate_with_clock_skew_detectable(self, tmp_path):
+        out = tmp_path / "skew.jsonl"
+        main(["generate", "--txns", "500", "--sessions", "8", "--keys", "50",
+              "--clock-skew", "0.1", "--out", str(out)])
+        assert main(["check", str(out)]) == 1
+
+    @pytest.mark.parametrize("workload", ["list", "twitter", "rubis", "tpcc"])
+    def test_generate_other_workloads(self, tmp_path, workload):
+        out = tmp_path / f"{workload}.jsonl"
+        assert main([
+            "generate", "--workload", workload, "--txns", "100",
+            "--sessions", "4", "--keys", "30", "--out", str(out),
+        ]) == 0
+        assert main(["check", str(out)]) == 0
+
+    def test_generate_ser_isolation(self, tmp_path):
+        out = tmp_path / "ser.jsonl"
+        main(["generate", "--txns", "200", "--sessions", "4", "--keys", "40",
+              "--isolation", "ser", "--out", str(out)])
+        assert main(["check", str(out), "--level", "ser"]) == 0
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "audit_database.py", "online_monitoring.py", "compare_checkers.py"],
+)
+def test_examples_run_clean(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_output_shape():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert "offline verdict : OK" in completed.stdout
+    assert "online verdict  : OK" in completed.stdout
+    assert "EXT=1" in completed.stdout

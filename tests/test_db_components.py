@@ -1,0 +1,176 @@
+"""Tests for storage, oracles, CDC and fault injection."""
+
+import pytest
+
+from repro.core.chronos import Chronos
+from repro.core.violations import Axiom
+from repro.db.cdc import parse_wal
+from repro.db.faults import HistoryFaultInjector, SkewedOracle
+from repro.db.oracle import CentralizedOracle, DecentralizedOracle, HybridLogicalClock
+from repro.db.storage import MultiVersionStore
+from repro.workloads.generator import generate_default_history
+from repro.workloads.spec import WorkloadSpec
+
+
+class TestMultiVersionStore:
+    def test_read_at_floor(self):
+        store = MultiVersionStore()
+        store.install("x", 10, "a")
+        store.install("x", 20, "b")
+        assert store.read_at("x", 5) is None
+        assert store.read_at("x", 10) == (10, "a")
+        assert store.read_at("x", 15) == (10, "a")
+        assert store.read_at("x", 25) == (20, "b")
+        assert store.latest("x") == (20, "b")
+
+    def test_out_of_order_install(self):
+        store = MultiVersionStore()
+        store.install("x", 20, "b")
+        store.install("x", 10, "a")
+        assert store.read_at("x", 15) == (10, "a")
+
+    def test_versions_in_window(self):
+        store = MultiVersionStore()
+        for ts in (10, 20, 30):
+            store.install("x", ts, str(ts))
+        assert [v[0] for v in store.versions_in("x", 10, 30)] == [20, 30]
+        assert store.versions_in("x", 30, 99) == []
+        assert store.versions_in("missing", 0, 99) == []
+
+    def test_counters(self):
+        store = MultiVersionStore()
+        store.install("x", 1, "a")
+        store.install("y", 2, "b")
+        assert len(store) == 2
+        assert store.n_versions == 2
+        assert "x" in store and "z" not in store
+
+
+class TestHlc:
+    def test_monotonic_with_stalled_clock(self):
+        clock = HybridLogicalClock(0, lambda: 5)
+        stamps = [clock.next_ts() for _ in range(50)]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == 50
+
+    def test_observe_advances(self):
+        a = HybridLogicalClock(0, lambda: 5, n_nodes=2)
+        b = HybridLogicalClock(1, lambda: 3, n_nodes=2)  # behind
+        ts_a = a.next_ts()
+        b.observe(ts_a)
+        assert b.next_ts() > ts_a
+
+    def test_node_ids_guarantee_uniqueness(self):
+        a = HybridLogicalClock(0, lambda: 5, n_nodes=2)
+        b = HybridLogicalClock(1, lambda: 5, n_nodes=2)
+        stamps = [a.next_ts() for _ in range(20)] + [b.next_ts() for _ in range(20)]
+        assert len(set(stamps)) == 40
+
+
+class TestDecentralizedOracle:
+    def test_unique_across_nodes(self):
+        oracle = DecentralizedOracle(3, skews=[0, 2, -2])
+        stamps = []
+        for i in range(300):
+            stamps.append(oracle.next_ts(i % 3))
+            if i % 10 == 0:
+                oracle.tick()
+        assert len(set(stamps)) == 300
+
+    def test_skew_produces_inversions(self):
+        oracle = DecentralizedOracle(2, skews=[0, 50])
+        early = oracle.next_ts(1)  # fast node issues a big timestamp
+        oracle.tick()
+        late = oracle.next_ts(0)   # slow node issues a smaller one later
+        assert late < early
+
+    def test_skews_validation(self):
+        with pytest.raises(ValueError):
+            DecentralizedOracle(2, skews=[0])
+        with pytest.raises(ValueError):
+            DecentralizedOracle(0)
+
+
+class TestCdc:
+    def test_wal_roundtrip(self, si_history):
+        from repro.db.engine import Database
+        from repro.workloads.generator import build_database
+
+        spec = WorkloadSpec(n_sessions=4, n_transactions=100, ops_per_txn=5, n_keys=20, seed=55)
+        db = build_database(spec)
+        generate_default_history(spec, database=db)
+        wal_text = list(db.cdc.wal_lines())
+        parsed = parse_wal(wal_text)
+        assert len(parsed) == len(db.cdc)
+        assert Chronos().check(parsed).is_valid
+
+    def test_subscription_tails_commits(self):
+        from repro.workloads.generator import build_database
+
+        spec = WorkloadSpec(n_sessions=4, n_transactions=50, ops_per_txn=5, n_keys=20, seed=56)
+        db = build_database(spec)
+        seen = []
+        db.cdc.subscribe(lambda record: seen.append(record.tid))
+        generate_default_history(spec, database=db)
+        assert len(seen) == 50  # ⊥T was emitted before subscription
+
+
+class TestSkewedOracle:
+    def test_produces_violations(self):
+        oracle = SkewedOracle(CentralizedOracle(), probability=0.1, max_skew=100)
+        history = generate_default_history(
+            WorkloadSpec(n_sessions=8, n_transactions=600, ops_per_txn=10, n_keys=60, seed=57),
+            oracle=oracle,
+        )
+        assert oracle.n_skewed > 0
+        result = Chronos().check(history)
+        assert not result.is_valid
+
+    def test_zero_probability_is_clean(self):
+        oracle = SkewedOracle(CentralizedOracle(), probability=0.0)
+        history = generate_default_history(
+            WorkloadSpec(n_sessions=4, n_transactions=200, ops_per_txn=6, n_keys=40, seed=58),
+            oracle=oracle,
+        )
+        assert oracle.n_skewed == 0
+        assert Chronos().check(history).is_valid
+
+    def test_stride_validation(self):
+        with pytest.raises(ValueError):
+            SkewedOracle(CentralizedOracle(), stride=1)
+
+
+class TestFaultInjector:
+    @pytest.fixture(scope="class")
+    def base_history(self):
+        return generate_default_history(
+            WorkloadSpec(n_sessions=6, n_transactions=300, ops_per_txn=8, n_keys=50, seed=59)
+        )
+
+    def test_rescaling_alone_preserves_verdict(self, base_history):
+        injector = HistoryFaultInjector(base_history)
+        assert Chronos().check(injector.build()).is_valid
+
+    @pytest.mark.parametrize(
+        "method,axiom",
+        [
+            ("inject_ext", Axiom.EXT),
+            ("inject_int", Axiom.INT),
+            ("inject_session", Axiom.SESSION),
+            ("inject_noconflict", Axiom.NOCONFLICT),
+            ("inject_ts_order", Axiom.TS_ORDER),
+        ],
+    )
+    def test_each_fault_detected_by_matching_axiom(self, base_history, method, axiom):
+        injector = HistoryFaultInjector(base_history, seed=60)
+        label = getattr(injector, method)()
+        assert label is not None and label.axiom is axiom
+        result = Chronos().check(injector.build())
+        found = {(v.axiom, v.tid) for v in result.violations}
+        assert any((axiom, tid) in found for tid in label.tids), (label, result.summary())
+
+    def test_inject_mix_counts(self, base_history):
+        injector = HistoryFaultInjector(base_history, seed=61)
+        labels = injector.inject_mix(10)
+        assert len(labels) == 10
+        assert len({label.axiom for label in labels}) == 5

@@ -1,0 +1,231 @@
+"""Tests for the MVCC engine (Algorithm 1 operational semantics)."""
+
+import pytest
+
+from repro.db.engine import Database, IsolationLevel, TransactionAborted
+from repro.db.oracle import CentralizedOracle
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.initialize(["x", "y"], 0)
+    return database
+
+
+class TestSnapshotReads:
+    def test_reads_initial_value(self, db):
+        session = db.session()
+        txn = session.begin()
+        assert db.read(txn, "x") == 0
+        db.commit(txn, session)
+
+    def test_snapshot_fixed_at_start(self, db):
+        s1, s2 = db.session(), db.session()
+        reader = s1.begin()
+        writer = s2.begin()
+        db.write(writer, "x", 5)
+        db.commit(writer, s2)
+        # reader started before the writer committed: still sees 0.
+        assert db.read(reader, "x") == 0
+        db.commit(reader, s1)
+
+    def test_new_transaction_sees_committed(self, db):
+        s1, s2 = db.session(), db.session()
+        writer = s1.begin()
+        db.write(writer, "x", 5)
+        db.commit(writer, s1)
+        reader = s2.begin()
+        assert db.read(reader, "x") == 5
+        db.commit(reader, s2)
+
+    def test_read_own_buffered_write(self, db):
+        session = db.session()
+        txn = session.begin()
+        db.write(txn, "x", 9)
+        assert db.read(txn, "x") == 9
+        db.abort(txn, session)
+
+    def test_unborn_key_reads_none(self, db):
+        session = db.session()
+        txn = session.begin()
+        assert db.read(txn, "nope") is None
+        db.commit(txn, session)
+
+
+class TestFirstCommitterWins:
+    def test_concurrent_write_conflict(self, db):
+        s1, s2 = db.session(), db.session()
+        t1, t2 = s1.begin(), s2.begin()
+        db.write(t1, "x", 1)
+        db.write(t2, "x", 2)
+        db.commit(t1, s1)
+        with pytest.raises(TransactionAborted):
+            db.commit(t2, s2)
+        assert db.n_aborts == 1
+
+    def test_different_keys_no_conflict(self, db):
+        s1, s2 = db.session(), db.session()
+        t1, t2 = s1.begin(), s2.begin()
+        db.write(t1, "x", 1)
+        db.write(t2, "y", 2)
+        db.commit(t1, s1)
+        db.commit(t2, s2)  # no conflict
+
+    def test_aborted_txn_leaves_no_trace(self, db):
+        s1 = db.session()
+        t1 = s1.begin()
+        db.write(t1, "x", 1)
+        db.abort(t1, s1)
+        s2 = db.session()
+        t2 = s2.begin()
+        assert db.read(t2, "x") == 0
+        db.commit(t2, s2)
+        # Aborted transactions never reach the CDC.
+        tids = [record.tid for record in db.cdc]
+        assert t1.tid not in tids
+
+    def test_write_skew_allowed_under_si(self, db):
+        s1, s2 = db.session(), db.session()
+        t1, t2 = s1.begin(), s2.begin()
+        db.read(t1, "x")
+        db.write(t1, "y", 1)
+        db.read(t2, "y")
+        db.write(t2, "x", 2)
+        db.commit(t1, s1)
+        db.commit(t2, s2)  # SI permits write skew
+
+
+class TestSerMode:
+    def test_write_skew_aborts_under_ser(self):
+        db = Database(isolation=IsolationLevel.SER)
+        db.initialize(["x", "y"], 0)
+        s1, s2 = db.session(), db.session()
+        t1, t2 = s1.begin(), s2.begin()
+        db.read(t1, "x")
+        db.write(t1, "y", 1)
+        db.read(t2, "y")
+        db.write(t2, "x", 2)
+        db.commit(t1, s1)
+        with pytest.raises(TransactionAborted, match="read validation"):
+            db.commit(t2, s2)
+
+    def test_stale_read_aborts_under_ser(self):
+        db = Database(isolation=IsolationLevel.SER)
+        db.initialize(["x"], 0)
+        s1, s2 = db.session(), db.session()
+        reader = s1.begin()
+        db.read(reader, "x")
+        writer = s2.begin()
+        db.write(writer, "x", 5)
+        db.commit(writer, s2)
+        db.write(reader, "y", 1)  # make the reader a writer so it validates
+        with pytest.raises(TransactionAborted):
+            db.commit(reader, s1)
+
+
+class TestCommitRecords:
+    def test_read_only_commit_equals_start(self, db):
+        session = db.session()
+        txn = session.begin()
+        db.read(txn, "x")
+        cts = db.commit(txn, session)
+        assert cts == txn.start_ts
+
+    def test_sno_contiguous_over_commits_only(self, db):
+        session = db.session()
+        t1 = session.begin()
+        db.write(t1, "x", 1)
+        db.commit(t1, session)
+        t2 = session.begin()
+        db.write(t2, "x", 2)
+        db.abort(t2, session)
+        t3 = session.begin()
+        db.write(t3, "x", 3)
+        db.commit(t3, session)
+        snos = [r.sno for r in db.cdc if r.sid == session.sid]
+        assert snos == [0, 1]
+
+    def test_cdc_records_observed_values(self, db):
+        session = db.session()
+        txn = session.begin()
+        db.read(txn, "x")
+        db.write(txn, "x", 42)
+        db.commit(txn, session)
+        record = list(db.cdc)[-1]
+        kinds = [op.kind.value for op in record.ops]
+        assert kinds == ["r", "w"]
+        assert record.ops[0].value == 0  # the value actually returned
+
+    def test_collect_history_disabled(self):
+        db = Database(collect_history=False)
+        db.initialize(["x"], 0)
+        session = db.session()
+        txn = session.begin()
+        db.write(txn, "x", 1)
+        db.commit(txn, session)
+        assert len(db.cdc) == 0
+        assert db.n_commits == 1
+
+    def test_operations_on_finished_txn_rejected(self, db):
+        session = db.session()
+        txn = session.begin()
+        db.commit(txn, session)
+        with pytest.raises(RuntimeError):
+            db.read(txn, "x")
+        with pytest.raises(RuntimeError):
+            db.commit(txn, session)
+
+
+class TestListOperations:
+    def test_append_and_read_list(self, db):
+        session = db.session()
+        t1 = session.begin()
+        db.append(t1, "l", 1)
+        assert db.read_list(t1, "l") == (1,)
+        db.commit(t1, session)
+        t2 = session.begin()
+        db.append(t2, "l", 2)
+        assert db.read_list(t2, "l") == (1, 2)
+        db.commit(t2, session)
+
+    def test_append_base_is_snapshot(self, db):
+        s1, s2 = db.session(), db.session()
+        t1 = s1.begin()
+        db.append(t1, "l", 1)
+        db.commit(t1, s1)
+        t2 = s2.begin()  # starts after t1 committed
+        db.append(t2, "l", 2)
+        db.commit(t2, s2)
+        s3 = db.session()
+        t3 = s3.begin()
+        assert db.read_list(t3, "l") == (1, 2)
+        db.commit(t3, s3)
+
+    def test_concurrent_appends_conflict(self, db):
+        s1, s2 = db.session(), db.session()
+        t1, t2 = s1.begin(), s2.begin()
+        db.append(t1, "l", 1)
+        db.append(t2, "l", 2)
+        db.commit(t1, s1)
+        with pytest.raises(TransactionAborted):
+            db.commit(t2, s2)
+
+
+class TestOracles:
+    def test_centralized_strictly_increasing(self):
+        oracle = CentralizedOracle()
+        stamps = [oracle.next_ts() for _ in range(100)]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == 100
+
+    def test_timestamps_unique_across_transactions(self, db):
+        stamps = set()
+        for _ in range(20):
+            session = db.session()
+            txn = session.begin()
+            db.write(txn, "x", object())
+            cts = db.commit(txn, session)
+            assert txn.start_ts not in stamps
+            assert cts not in stamps
+            stamps.update({txn.start_ts, cts})

@@ -1,0 +1,216 @@
+"""Builder, serialization, validation and statistics tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.histories.builder import HistoryBuilder
+from repro.histories.model import History, INIT_TID, OpKind, Transaction
+from repro.histories.ops import append, read, read_list, write
+from repro.histories.serialization import (
+    history_from_jsonl,
+    history_to_jsonl,
+    load_history,
+    save_history,
+    txn_from_dict,
+    txn_to_dict,
+)
+from repro.histories.stats import HistoryStats
+from repro.histories.validation import validate_history
+
+
+class TestBuilder:
+    def test_auto_init_covers_mentioned_keys(self):
+        b = HistoryBuilder()
+        b.txn(sid=1, ops=[write("x", 1), read("y", 0)])
+        history = b.build()
+        init = history.init_transaction
+        assert init is not None
+        assert init.write_keys == {"x", "y"}
+
+    def test_declared_keys_init(self):
+        b = HistoryBuilder(keys=["a", "b"], initial_value=7)
+        b.txn(sid=1, ops=[read("a", 7)])
+        init = b.build().init_transaction
+        assert init.last_writes == {"a": 7, "b": 7}
+
+    def test_without_init(self):
+        b = HistoryBuilder(with_init=False)
+        b.txn(sid=1, ops=[write("x", 1)])
+        assert b.build().init_transaction is None
+
+    def test_auto_timestamps_unique_and_ordered(self):
+        b = HistoryBuilder()
+        t1 = b.txn(sid=1, ops=[write("x", 1)])
+        t2 = b.txn(sid=1, ops=[write("x", 2)])
+        stamps = {t1.start_ts, t1.commit_ts, t2.start_ts, t2.commit_ts}
+        assert len(stamps) == 4
+        assert t1.commit_ts < t2.start_ts
+
+    def test_read_only_gets_equal_timestamps(self):
+        b = HistoryBuilder()
+        t = b.txn(sid=1, ops=[read("x", 0)])
+        assert t.start_ts == t.commit_ts
+
+    def test_auto_sno_per_session(self):
+        b = HistoryBuilder()
+        assert b.txn(sid=1, ops=[write("x", 1)]).sno == 0
+        assert b.txn(sid=2, ops=[write("x", 2)]).sno == 0
+        assert b.txn(sid=1, ops=[write("x", 3)]).sno == 1
+
+    def test_duplicate_tid_rejected(self):
+        b = HistoryBuilder()
+        b.txn(sid=1, tid=5, ops=[write("x", 1)])
+        with pytest.raises(ValueError):
+            b.txn(sid=1, tid=5, ops=[write("x", 2)])
+
+    def test_duplicate_timestamp_rejected(self):
+        b = HistoryBuilder()
+        b.txn(sid=1, start=10, commit=11, ops=[write("x", 1)])
+        with pytest.raises(ValueError):
+            b.txn(sid=2, start=11, commit=12, ops=[write("x", 2)])
+
+    def test_reserved_session_rejected(self):
+        b = HistoryBuilder()
+        with pytest.raises(ValueError):
+            b.txn(sid=0, ops=[write("x", 1)])
+
+
+class TestSerialization:
+    def test_txn_dict_roundtrip_all_op_kinds(self):
+        txn = Transaction(
+            tid=3,
+            sid=2,
+            sno=1,
+            ops=[write("x", 5), read("y", None), append("l", 9), read_list("l", [1, 9])],
+            start_ts=10,
+            commit_ts=12,
+        )
+        back = txn_from_dict(txn_to_dict(txn))
+        assert back.tid == 3 and back.sid == 2 and back.sno == 1
+        assert back.start_ts == 10 and back.commit_ts == 12
+        assert list(back.ops) == list(txn.ops)
+        assert back.ops[3].value == (1, 9)  # tuple restored from JSON list
+
+    def test_jsonl_roundtrip(self, si_history):
+        text = history_to_jsonl(si_history)
+        back = history_from_jsonl(text)
+        assert len(back) == len(si_history)
+        for original, restored in zip(si_history, back):
+            assert original.tid == restored.tid
+            assert list(original.ops) == list(restored.ops)
+
+    def test_file_roundtrip(self, tmp_path, list_history):
+        path = tmp_path / "h.jsonl"
+        save_history(list_history, path)
+        back = load_history(path)
+        assert len(back) == len(list_history)
+        assert back.get(1).ops == list_history.get(1).ops
+
+    def test_unknown_op_code_rejected(self):
+        with pytest.raises(ValueError):
+            txn_from_dict(
+                {"tid": 1, "sid": 1, "sno": 0, "sts": 1, "cts": 2, "ops": [["zz", "x", 1]]}
+            )
+
+    def test_blank_lines_ignored(self):
+        b = HistoryBuilder()
+        b.txn(sid=1, ops=[write("x", 1)])
+        text = history_to_jsonl(b.build()) + "\n\n\n"
+        assert len(history_from_jsonl(text)) == 2
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(
+            st.sampled_from(["r", "w"]),
+            st.sampled_from(["a", "b", "c"]),
+            st.integers(-5, 5),
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+    sts=st.integers(1, 100),
+)
+def test_serialization_roundtrip_property(data, sts):
+    ops = [read(k, v) if kind == "r" else write(k, v) for kind, k, v in data]
+    txn = Transaction(tid=1, sid=1, sno=0, ops=ops, start_ts=sts, commit_ts=sts + 1)
+    back = txn_from_dict(txn_to_dict(txn))
+    assert list(back.ops) == ops
+    assert back.write_keys == txn.write_keys
+    assert back.external_reads.keys() == txn.external_reads.keys()
+
+
+class TestValidation:
+    def test_valid_generated_history(self, si_history):
+        assert validate_history(si_history) == []
+
+    def test_missing_init(self):
+        b = HistoryBuilder(with_init=False)
+        b.txn(sid=1, ops=[write("x", 1)])
+        issues = validate_history(b.build())
+        assert [i.code for i in issues] == ["init-missing"]
+        assert validate_history(b.build(), require_init=False) == []
+
+    def test_ts_reuse_detected(self):
+        txns = [
+            Transaction(INIT_TID, 0, 0, [write("x", 0)], 0, 0),
+            Transaction(1, 1, 0, [write("x", 1)], 5, 6),
+            Transaction(2, 2, 0, [write("x", 2)], 6, 7),
+        ]
+        codes = {i.code for i in validate_history(History(txns))}
+        assert "ts-reuse" in codes
+
+    def test_ts_order_detected(self):
+        txns = [
+            Transaction(INIT_TID, 0, 0, [write("x", 0)], 0, 0),
+            Transaction(1, 1, 0, [write("x", 1)], 9, 5),
+        ]
+        codes = {i.code for i in validate_history(History(txns))}
+        assert "ts-order" in codes
+
+    def test_sno_gap_detected(self):
+        txns = [
+            Transaction(INIT_TID, 0, 0, [write("x", 0)], 0, 0),
+            Transaction(1, 1, 0, [write("x", 1)], 1, 2),
+            Transaction(2, 1, 2, [write("x", 2)], 3, 4),  # sno jumps 0 -> 2
+        ]
+        codes = {i.code for i in validate_history(History(txns))}
+        assert "sno-gap" in codes
+
+    def test_empty_txn_detected(self):
+        txns = [
+            Transaction(INIT_TID, 0, 0, [write("x", 0)], 0, 0),
+            Transaction(1, 1, 0, [], 1, 2),
+        ]
+        codes = {i.code for i in validate_history(History(txns))}
+        assert "empty-txn" in codes
+
+
+class TestStats:
+    def test_counts_exclude_init(self):
+        b = HistoryBuilder(keys=["x", "l"])
+        b.txn(sid=1, ops=[write("x", 1), read("x", 1)])
+        b.txn(sid=2, ops=[append("l", 1), read_list("l", [1])])
+        stats = HistoryStats.of(b.build())
+        assert stats.n_transactions == 2
+        assert stats.n_sessions == 2
+        assert stats.n_operations == 4
+        assert stats.n_reads == 1 and stats.n_writes == 1
+        assert stats.n_appends == 1 and stats.n_list_reads == 1
+        assert stats.read_ratio == 0.5
+        assert stats.ops_per_txn == 2.0
+
+    def test_empty_history(self):
+        stats = HistoryStats.of(History([]))
+        assert stats.n_transactions == 0
+        assert stats.ops_per_txn == 0.0
+        assert stats.read_ratio == 0.0
+
+    def test_generated_matches_spec(self, si_history):
+        stats = HistoryStats.of(si_history)
+        assert stats.n_transactions == 1_500
+        assert stats.n_sessions == 12
+        assert abs(stats.ops_per_txn - 10) < 0.01
+        assert 0.4 < stats.read_ratio < 0.6

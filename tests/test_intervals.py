@@ -1,0 +1,99 @@
+"""Tests for the interval index used by NOCONFLICT re-checking."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.intervals import Interval, IntervalIndex
+
+
+class TestInterval:
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            Interval(5, 3)
+
+    def test_point_interval(self):
+        iv = Interval(4, 4, owner=1)
+        assert iv.contains_point(4)
+        assert not iv.contains_point(5)
+
+    def test_overlap_closed_semantics(self):
+        assert Interval(1, 5).overlaps(Interval(5, 9))  # shared endpoint
+        assert Interval(1, 5).overlaps(Interval(2, 3))  # containment
+        assert not Interval(1, 4).overlaps(Interval(5, 9))
+        assert Interval(3, 8).overlaps(Interval(1, 3))
+
+
+class TestIntervalIndex:
+    def test_empty_queries(self):
+        index = IntervalIndex()
+        assert index.overlapping(Interval(0, 100)) == []
+        assert index.first_start_after(0) is None
+        assert len(index) == 0
+
+    def test_add_and_query(self):
+        index = IntervalIndex()
+        a = Interval(1, 5, owner=1)
+        b = Interval(4, 9, owner=2)
+        c = Interval(10, 12, owner=3)
+        for iv in (a, b, c):
+            index.add(iv)
+        hits = index.overlapping(Interval(5, 6))
+        assert set(h.owner for h in hits) == {1, 2}
+        assert index.overlapping(Interval(13, 20)) == []
+        assert len(index) == 3
+
+    def test_remove(self):
+        index = IntervalIndex()
+        a = Interval(1, 5, owner=1)
+        index.add(a)
+        index.remove(a)
+        assert index.overlapping(Interval(0, 10)) == []
+        with pytest.raises(KeyError):
+            index.remove(a)
+
+    def test_same_start_different_owners(self):
+        index = IntervalIndex()
+        index.add(Interval(3, 7, owner=1))
+        index.add(Interval(3, 9, owner=2))
+        hits = index.overlapping(Interval(8, 8))
+        assert [h.owner for h in hits] == [2]
+        assert len(index) == 2
+
+    def test_first_start_after(self):
+        index = IntervalIndex()
+        index.add(Interval(3, 7, owner=1))
+        index.add(Interval(10, 11, owner=2))
+        assert index.first_start_after(3).owner == 2
+        assert index.first_start_after(2).owner == 1
+        assert index.first_start_after(10) is None
+
+    def test_pop_ending_before(self):
+        index = IntervalIndex()
+        index.add(Interval(1, 4, owner=1))
+        index.add(Interval(2, 9, owner=2))
+        removed = index.pop_ending_before(5)
+        assert [iv.owner for iv in removed] == [1]
+        assert len(index) == 1
+        assert index.overlapping(Interval(0, 100))[0].owner == 2
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    intervals=st.lists(
+        st.tuples(st.integers(0, 100), st.integers(0, 40)), min_size=0, max_size=30
+    ),
+    query=st.tuples(st.integers(0, 100), st.integers(0, 40)),
+)
+def test_overlap_matches_naive(intervals, query):
+    """Property: overlap query equals the brute-force scan."""
+    index = IntervalIndex()
+    stored = []
+    for owner, (start, length) in enumerate(intervals):
+        iv = Interval(start, start + length, owner=owner)
+        index.add(iv)
+        stored.append(iv)
+    q = Interval(query[0], query[0] + query[1], owner="q")
+    expected = {iv.owner for iv in stored if iv.overlaps(q)}
+    got = {iv.owner for iv in index.overlapping(q)}
+    assert got == expected

@@ -1,0 +1,187 @@
+"""Tests for the online infrastructure: clock, delays, collector, runner."""
+
+from random import Random
+
+import pytest
+
+from repro.core.aion import Aion, AionConfig
+from repro.online.clock import SimClock
+from repro.online.collector import HistoryCollector
+from repro.online.delays import NoDelay, NormalDelay
+from repro.online.metrics import MemorySampler, ThroughputSeries
+from repro.online.runner import GcPolicy, OnlineRunner
+
+
+class TestSimClock:
+    def test_monotonic(self):
+        clock = SimClock()
+        assert clock() == 0.0
+        clock.advance(1.5)
+        assert clock.now() == 1.5
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_advance_to_never_rewinds(self):
+        clock = SimClock(10.0)
+        clock.advance_to(5.0)
+        assert clock.now() == 10.0
+        clock.advance_to(12.0)
+        assert clock.now() == 12.0
+
+
+class TestDelays:
+    def test_no_delay(self):
+        assert NoDelay().delay_seconds(Random(1)) == 0.0
+
+    def test_normal_delay_units_and_clamp(self):
+        model = NormalDelay(100.0, 10.0)
+        rng = Random(2)
+        samples = [model.delay_seconds(rng) for _ in range(1000)]
+        mean = sum(samples) / len(samples)
+        assert 0.095 < mean < 0.105  # milliseconds converted to seconds
+        assert all(s >= 0 for s in samples)
+        clamped = NormalDelay(0.0, 100.0)
+        assert all(clamped.delay_seconds(rng) >= 0 for _ in range(100))
+
+    def test_zero_std_is_constant(self):
+        model = NormalDelay(50.0, 0.0)
+        rng = Random(3)
+        assert model.delay_seconds(rng) == 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NormalDelay(10, -1)
+
+
+class TestCollector:
+    def test_no_delay_preserves_commit_order(self, si_history):
+        collector = HistoryCollector(batch_size=100, arrival_tps=10_000)
+        schedule = collector.schedule(si_history)
+        assert len(schedule) == len(si_history)
+        assert schedule.out_of_order_fraction() == 0.0
+        times = [t for t, _ in schedule]
+        assert times == sorted(times)
+
+    def test_delays_cause_reordering(self, si_history):
+        collector = HistoryCollector(
+            batch_size=100, arrival_tps=100_000,
+            delay_model=NormalDelay(100, 20), seed=5,
+        )
+        schedule = collector.schedule(si_history)
+        assert schedule.out_of_order_fraction() > 0.0
+
+    def test_session_order_always_preserved(self, si_history):
+        collector = HistoryCollector(
+            batch_size=50, arrival_tps=1_000_000,
+            delay_model=NormalDelay(100, 50), seed=6,
+        )
+        schedule = collector.schedule(si_history)
+        last_sno = {}
+        for _, txn in schedule:
+            assert last_sno.get(txn.sid, -1) == txn.sno - 1, "session order broken"
+            last_sno[txn.sid] = txn.sno
+
+    def test_batch_cadence(self, si_history):
+        collector = HistoryCollector(batch_size=100, arrival_tps=10_000)
+        schedule = collector.schedule(si_history)
+        # 100-txn batches at 10K TPS leave every 10 ms.
+        first_batch_time = schedule.arrivals[0][0]
+        t_101 = schedule.arrivals[100][0]
+        assert abs((t_101 - first_batch_time) - 0.01) < 1e-9
+
+    def test_makespan_positive(self, si_history):
+        collector = HistoryCollector(batch_size=500, arrival_tps=25_000)
+        assert collector.schedule(si_history).makespan > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HistoryCollector(batch_size=0)
+        with pytest.raises(ValueError):
+            HistoryCollector(arrival_tps=0)
+
+
+class TestMetrics:
+    def test_throughput_buckets(self):
+        series = ThroughputSeries()
+        for t in (0.1, 0.2, 1.5, 2.9):
+            series.record(t)
+        points = dict(series.series())
+        assert points[0.0] == 2 and points[1.0] == 1 and points[2.0] == 1
+        assert series.total == 4
+        assert series.peak_tps() == 2
+
+    def test_sustained_skips_warmup(self):
+        series = ThroughputSeries()
+        for _ in range(100):
+            series.record(0.5)  # warm-up burst
+        for t in range(1, 5):
+            series.record(t + 0.5)
+        assert series.sustained_tps() == 1.0
+
+    def test_memory_sampler_cadence(self):
+        values = iter(range(100))
+        sampler = MemorySampler(lambda: next(values), every_n=3)
+        for i in range(9):
+            sampler.maybe_sample(float(i))
+        assert len(sampler.samples) == 3
+        sampler.force_sample(99.0)
+        assert len(sampler.samples) == 4
+        assert sampler.peak_bytes == max(v for _, v in sampler.samples)
+
+
+class TestRunner:
+    def _schedule(self, history, **kwargs):
+        return HistoryCollector(
+            batch_size=200, arrival_tps=50_000,
+            delay_model=NormalDelay(50, 5), seed=7, **kwargs,
+        ).schedule(history)
+
+    def test_tracking_mode_clock_follows_arrivals(self, si_history):
+        schedule = self._schedule(si_history)
+        clock = SimClock()
+        checker = Aion(AionConfig(timeout=float("inf")), clock=clock)
+        report = OnlineRunner(checker, clock).run_tracking(schedule)
+        assert report.n_processed == len(si_history)
+        assert abs(report.virtual_seconds - schedule.makespan) < 1e-6
+        assert report.result.is_valid
+        checker.close()
+
+    def test_capacity_mode_advances_with_work(self, si_history):
+        schedule = self._schedule(si_history)
+        clock = SimClock()
+        checker = Aion(AionConfig(timeout=float("inf")), clock=clock)
+        report = OnlineRunner(checker, clock).run_capacity(schedule)
+        assert report.virtual_seconds > schedule.makespan  # processing cost added
+        assert report.overall_tps > 0
+        assert report.result.is_valid
+        checker.close()
+
+    def test_gc_policies_trigger(self, si_history):
+        schedule = self._schedule(si_history)
+        for policy in (GcPolicy.CHECKING_GC, GcPolicy.FULL_GC):
+            clock = SimClock()
+            checker = Aion(AionConfig(timeout=float("inf")), clock=clock)
+            report = OnlineRunner(
+                checker, clock, gc_policy=policy, gc_threshold=300
+            ).run_capacity(schedule)
+            assert report.n_gc_cycles >= 1, policy
+            assert report.result.is_valid, policy
+            checker.close()
+
+    def test_memory_capped_mode(self, si_history):
+        schedule = self._schedule(si_history)
+        clock = SimClock()
+        probe = Aion(AionConfig(timeout=float("inf")), clock=clock)
+        baseline = OnlineRunner(probe, clock, memory_sample_every=200).run_capacity(schedule)
+        peak = max(size for _, size in baseline.memory_samples)
+        probe.close()
+
+        clock = SimClock()
+        checker = Aion(AionConfig(timeout=float("inf")), clock=clock)
+        report = OnlineRunner(checker, clock).run_memory_capped(
+            schedule, max_bytes=int(peak * 0.5), check_every=150
+        )
+        assert report.n_gc_cycles >= 1
+        assert report.result.is_valid
+        assert report.memory_samples
+        checker.close()

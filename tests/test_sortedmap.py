@@ -1,0 +1,232 @@
+"""Unit and model-based tests for the skiplist-backed SortedMap."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import Bundle, RuleBasedStateMachine, invariant, rule
+
+from repro.util.sortedmap import SortedMap
+
+
+class TestBasics:
+    def test_empty(self):
+        m = SortedMap()
+        assert len(m) == 0
+        assert not m
+        assert 1 not in m
+        assert list(m.items()) == []
+        assert m.floor_item(10) is None
+        assert m.ceiling_item(10) is None
+
+    def test_set_get_delete(self):
+        m = SortedMap()
+        m[5] = "five"
+        m[3] = "three"
+        m[7] = "seven"
+        assert m[5] == "five"
+        assert len(m) == 3
+        assert list(m.keys()) == [3, 5, 7]
+        del m[5]
+        assert 5 not in m
+        assert list(m.keys()) == [3, 7]
+        with pytest.raises(KeyError):
+            del m[5]
+        with pytest.raises(KeyError):
+            _ = m[5]
+
+    def test_overwrite_keeps_length(self):
+        m = SortedMap()
+        m[1] = "a"
+        m[1] = "b"
+        assert len(m) == 1
+        assert m[1] == "b"
+
+    def test_get_default_and_setdefault(self):
+        m = SortedMap()
+        assert m.get(9) is None
+        assert m.get(9, "d") == "d"
+        assert m.setdefault(9, "x") == "x"
+        assert m.setdefault(9, "y") == "x"
+
+    def test_pop(self):
+        m = SortedMap([(1, "a")])
+        assert m.pop(1) == "a"
+        assert m.pop(1, "default") == "default"
+        with pytest.raises(KeyError):
+            m.pop(1)
+
+    def test_min_max(self):
+        m = SortedMap([(i, i * 10) for i in (4, 1, 9, 6)])
+        assert m.min_item() == (1, 10)
+        assert m.max_item() == (9, 90)
+        empty = SortedMap()
+        with pytest.raises(KeyError):
+            empty.min_item()
+        with pytest.raises(KeyError):
+            empty.max_item()
+
+    def test_clear(self):
+        m = SortedMap([(1, "a"), (2, "b")])
+        m.clear()
+        assert len(m) == 0
+        m[3] = "c"
+        assert list(m.items()) == [(3, "c")]
+
+
+class TestOrderedQueries:
+    @pytest.fixture
+    def m(self):
+        return SortedMap([(10, "a"), (20, "b"), (30, "c")])
+
+    def test_floor(self, m):
+        assert m.floor_item(5) is None
+        assert m.floor_item(10) == (10, "a")
+        assert m.floor_item(25) == (20, "b")
+        assert m.floor_item(99) == (30, "c")
+
+    def test_lower(self, m):
+        assert m.lower_item(10) is None
+        assert m.lower_item(11) == (10, "a")
+        assert m.lower_item(30) == (20, "b")
+
+    def test_ceiling(self, m):
+        assert m.ceiling_item(5) == (10, "a")
+        assert m.ceiling_item(10) == (10, "a")
+        assert m.ceiling_item(21) == (30, "c")
+        assert m.ceiling_item(31) is None
+
+    def test_higher(self, m):
+        assert m.higher_item(9) == (10, "a")
+        assert m.higher_item(10) == (20, "b")
+        assert m.higher_item(30) is None
+
+    def test_irange_default_inclusive(self, m):
+        assert list(m.irange(10, 30)) == [(10, "a"), (20, "b"), (30, "c")]
+        assert list(m.irange(11, 29)) == [(20, "b")]
+        assert list(m.irange(None, 20)) == [(10, "a"), (20, "b")]
+        assert list(m.irange(20, None)) == [(20, "b"), (30, "c")]
+
+    def test_irange_exclusive_endpoints(self, m):
+        assert list(m.irange(10, 30, inclusive=(False, True))) == [(20, "b"), (30, "c")]
+        assert list(m.irange(10, 30, inclusive=(True, False))) == [(10, "a"), (20, "b")]
+        assert list(m.irange(10, 30, inclusive=(False, False))) == [(20, "b")]
+
+    def test_pop_below_inclusive(self, m):
+        removed = m.pop_below(20)
+        assert removed == [(10, "a"), (20, "b")]
+        assert list(m.keys()) == [30]
+
+    def test_pop_below_exclusive(self, m):
+        removed = m.pop_below(20, inclusive=False)
+        assert removed == [(10, "a")]
+        assert list(m.keys()) == [20, 30]
+
+    def test_pop_below_nothing(self, m):
+        assert m.pop_below(5) == []
+        assert len(m) == 3
+
+    def test_pop_below_everything_then_reuse(self, m):
+        removed = m.pop_below(1_000)
+        assert len(removed) == 3
+        assert len(m) == 0
+        m[40] = "d"
+        assert m.floor_item(50) == (40, "d")
+
+
+class TestScale:
+    def test_many_inserts_sorted(self):
+        m = SortedMap()
+        import random
+
+        values = list(range(2000))
+        random.Random(7).shuffle(values)
+        for v in values:
+            m[v] = v * 2
+        assert list(m.keys()) == sorted(values)
+        assert m.floor_item(999) == (999, 1998)
+        assert len(m) == 2000
+
+    def test_interleaved_delete(self):
+        m = SortedMap([(i, i) for i in range(500)])
+        for i in range(0, 500, 2):
+            del m[i]
+        assert list(m.keys()) == list(range(1, 500, 2))
+        assert m.floor_item(100) == (99, 99)
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["set", "del", "floor", "ceiling", "pop_below"]),
+            st.integers(min_value=-50, max_value=50),
+        ),
+        max_size=60,
+    )
+)
+def test_matches_dict_model(ops):
+    """Model-based: SortedMap behaves like a sorted dict."""
+    m = SortedMap()
+    model: dict = {}
+    for op, key in ops:
+        if op == "set":
+            m[key] = key
+            model[key] = key
+        elif op == "del":
+            if key in model:
+                del m[key]
+                del model[key]
+            else:
+                assert key not in m
+        elif op == "floor":
+            expected = max((k for k in model if k <= key), default=None)
+            got = m.floor_item(key)
+            assert (got[0] if got else None) == expected
+        elif op == "ceiling":
+            expected = min((k for k in model if k >= key), default=None)
+            got = m.ceiling_item(key)
+            assert (got[0] if got else None) == expected
+        else:  # pop_below
+            removed = {k for k, _ in m.pop_below(key)}
+            expected_removed = {k for k in model if k <= key}
+            assert removed == expected_removed
+            for k in expected_removed:
+                del model[k]
+        assert len(m) == len(model)
+        assert list(m.keys()) == sorted(model)
+
+
+class SortedMapMachine(RuleBasedStateMachine):
+    """Stateful fuzzing against a dict model."""
+
+    def __init__(self):
+        super().__init__()
+        self.map = SortedMap()
+        self.model = {}
+
+    keys = Bundle("keys")
+
+    @rule(target=keys, k=st.integers(-1000, 1000))
+    def add_key(self, k):
+        self.map[k] = str(k)
+        self.model[k] = str(k)
+        return k
+
+    @rule(k=keys)
+    def delete_key(self, k):
+        if k in self.model:
+            del self.map[k]
+            del self.model[k]
+
+    @rule(k=st.integers(-1000, 1000))
+    def query(self, k):
+        assert self.map.get(k) == self.model.get(k)
+
+    @invariant()
+    def sorted_and_sized(self):
+        assert list(self.map.keys()) == sorted(self.model)
+        assert len(self.map) == len(self.model)
+
+
+TestSortedMapStateful = SortedMapMachine.TestCase
+TestSortedMapStateful.settings = settings(max_examples=30, stateful_step_count=40, deadline=None)

@@ -1,0 +1,62 @@
+"""Tests for the disk spill store used by Aion's GC."""
+
+from pathlib import Path
+
+from repro.core.spill import SpillStore
+
+
+class TestSpillStore:
+    def test_spill_and_reload_roundtrip(self):
+        with SpillStore() as store:
+            store.spill(0, 100, {"frontier": {"x": [[10, "a", 1]]}}, n_items=1)
+            store.spill(100, 200, {"frontier": {"x": [[150, "b", 2]]}}, n_items=1)
+            payloads = store.reload_overlapping(0, 120)
+            assert len(payloads) == 2  # second segment's min_ts 100 <= 120
+            assert payloads[0]["frontier"]["x"][0][1] == "a"
+            assert len(store) == 0
+
+    def test_reload_respects_range(self):
+        with SpillStore() as store:
+            store.spill(0, 50, {"tag": "old"})
+            store.spill(60, 100, {"tag": "new"})
+            payloads = store.reload_overlapping(0, 55)
+            assert [p["tag"] for p in payloads] == ["old"]
+            assert len(store) == 1  # the new segment survives
+
+    def test_reload_unbounded(self):
+        with SpillStore() as store:
+            store.spill(0, 50, {"tag": "a"})
+            store.spill(60, 100, {"tag": "b"})
+            assert len(store.reload_overlapping(0, None)) == 2
+
+    def test_min_spilled_ts(self):
+        with SpillStore() as store:
+            assert store.min_spilled_ts() is None
+            store.spill(30, 50, {})
+            store.spill(10, 20, {})
+            assert store.min_spilled_ts() == 10
+
+    def test_files_created_and_removed(self, tmp_path):
+        store = SpillStore(tmp_path / "spill")
+        segment = store.spill(0, 10, {"k": 1})
+        assert segment.path.exists()
+        store.reload_overlapping(0, None)
+        assert not segment.path.exists()
+        store.close()
+        assert (tmp_path / "spill").exists()  # caller-owned dir kept
+
+    def test_owned_tempdir_removed_on_close(self):
+        store = SpillStore()
+        directory = store.directory
+        store.spill(0, 10, {"k": 1})
+        store.close()
+        assert not Path(directory).exists()
+
+    def test_io_accounting(self):
+        with SpillStore() as store:
+            store.spill(0, 10, {"payload": "x" * 100})
+            assert store.bytes_written > 100
+            assert store.spill_count == 1
+            store.reload_overlapping(0, None)
+            assert store.bytes_read > 100
+            assert store.reload_count == 1
