@@ -30,6 +30,7 @@ from repro.core import (
     Chronos,
     ChronosSer,
     GcMode,
+    ShardedAion,
     Violation,
 )
 from repro.histories import (
@@ -61,6 +62,7 @@ __all__ = [
     "HistoryBuilder",
     "OpKind",
     "Operation",
+    "ShardedAion",
     "Transaction",
     "Violation",
     "append",

@@ -17,6 +17,7 @@ Examples
     python -m repro generate --txns 10000 --out history.jsonl
     python -m repro check history.jsonl --level si
     python -m repro check history.jsonl --level ser --online
+    python -m repro check history.jsonl --online --shards 4 --batch-size 500
     python -m repro inject history.jsonl --faults 5 --out bad.jsonl
     python -m repro check bad.jsonl
 """
@@ -32,6 +33,7 @@ from repro.core.aion import Aion, AionConfig
 from repro.core.aion_ser import AionSer
 from repro.core.chronos import Chronos
 from repro.core.chronos_ser import ChronosSer
+from repro.core.sharded import ShardedAion
 from repro.db.faults import HistoryFaultInjector, SkewedOracle
 from repro.db.oracle import CentralizedOracle
 from repro.histories.serialization import load_history, save_history
@@ -90,6 +92,12 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument("--delay-mean-ms", type=float, default=100.0)
     check.add_argument("--delay-std-ms", type=float, default=10.0)
     check.add_argument("--max-report", type=int, default=10)
+    check.add_argument("--shards", type=int, default=1,
+                       help="hash-partition the online SI checker's state across "
+                            "N shards (requires --online --level si)")
+    check.add_argument("--batch-size", type=int, default=0,
+                       help="feed the online checker batches of this size via "
+                            "receive_many (0 = per-transaction ingestion)")
     check.set_defaults(handler=_cmd_check)
 
     inject = commands.add_parser("inject", help="inject labelled faults")
@@ -148,6 +156,19 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
+    # Flag validation precedes the (potentially large) history load.
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.shards > 1 and not (args.online and args.level == "si"):
+        print("--shards requires --online --level si", file=sys.stderr)
+        return 2
+    if args.batch_size < 0:
+        print("--batch-size must be >= 0", file=sys.stderr)
+        return 2
+    if args.batch_size > 0 and not args.online:
+        print("--batch-size requires --online", file=sys.stderr)
+        return 2
     history = load_history(args.history)
     t0 = time.perf_counter()
     if args.online:
@@ -158,15 +179,27 @@ def _cmd_check(args: argparse.Namespace) -> int:
         )
         schedule = collector.schedule(history)
         clock = SimClock()
-        checker = (
-            Aion(AionConfig(timeout=args.timeout), clock=clock)
-            if args.level == "si"
-            else AionSer(AionConfig(timeout=args.timeout), clock=clock)
-        )
-        report = OnlineRunner(checker, clock).run_capacity(schedule)
+        if args.shards > 1:
+            checker = ShardedAion(
+                AionConfig(timeout=args.timeout), n_shards=args.shards, clock=clock
+            )
+        elif args.level == "si":
+            checker = Aion(AionConfig(timeout=args.timeout), clock=clock)
+        else:
+            checker = AionSer(AionConfig(timeout=args.timeout), clock=clock)
+        runner = OnlineRunner(checker, clock)
+        if args.batch_size > 0:
+            report = runner.run_capacity_batched(schedule, batch_size=args.batch_size)
+        else:
+            report = runner.run_capacity(schedule)
         result = report.result
         checker.close()
-        mode = f"online {args.level.upper()} ({report.overall_tps:,.0f} TPS)"
+        shard_note = f", {args.shards} shards" if args.shards > 1 else ""
+        batch_note = f", batch={args.batch_size}" if args.batch_size > 0 else ""
+        mode = (
+            f"online {args.level.upper()} "
+            f"({report.overall_tps:,.0f} TPS{shard_note}{batch_note})"
+        )
     else:
         checker = Chronos() if args.level == "si" else ChronosSer()
         result = checker.check(history)

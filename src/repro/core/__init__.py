@@ -10,6 +10,8 @@
   incremental checking under out-of-order arrival with timestamp-versioned
   structures, EXT re-checking with timeouts, and conservative GC.
 - :mod:`repro.core.aion_ser` — **Aion-SER**, the online SER checker.
+- :mod:`repro.core.sharded` — **ShardedAion**, the sharded, batch-oriented
+  ingestion frontend with Aion-identical verdicts.
 - :mod:`repro.core.reference` — a slow replay oracle used by the test
   suite to validate Aion differentially against Chronos.
 
@@ -24,6 +26,7 @@ from repro.core.aion_ser import AionSer
 from repro.core.chronos import Chronos, ChronosReport, GcMode
 from repro.core.chronos_ser import ChronosSer
 from repro.core.reference import ReferenceOnlineChecker
+from repro.core.sharded import ShardedAion, shard_of
 from repro.core.violations import (
     Axiom,
     CheckResult,
@@ -50,6 +53,8 @@ __all__ = [
     "IntViolation",
     "ReferenceOnlineChecker",
     "SessionViolation",
+    "ShardedAion",
     "TimestampOrderViolation",
     "Violation",
+    "shard_of",
 ]

@@ -77,7 +77,26 @@ class AionSer:
         """Process one incoming transaction for online SER checking."""
         now = self._clock()
         self._ext.advance_to(now)
+        self._receive_one(txn, now)
+        self._ext.arm_timer(txn.tid, now)
 
+    def receive_many(self, txns: List[Transaction]) -> None:
+        """Batched ingestion sharing one arrival instant (see Aion)."""
+        # Whole-batch validation up front, as in Aion.receive_many.
+        for txn in txns:
+            for op in txn.ops:
+                if op.kind is OpKind.APPEND:
+                    raise ValueError(
+                        "Aion-SER checks key-value histories online; list "
+                        "(append) histories are checked offline by Chronos-SER"
+                    )
+        now = self._clock()
+        self._ext.advance_to(now)
+        for txn in txns:
+            self._receive_one(txn, now)
+        self._ext.arm_timers([txn.tid for txn in txns], now)
+
+    def _receive_one(self, txn: Transaction, now: float) -> None:
         if txn.start_ts > txn.commit_ts:
             self._report(
                 TimestampOrderViolation(
@@ -124,12 +143,10 @@ class AionSer:
                 expected=expected, now=now,
             )
             self._ext_reads.add(key, snapshot_ts, tid, op.value)
-        self._ext.arm_timer(tid, now)
 
         for key, value in writes.items():
-            nxt = self._frontier.next_after(key, txn.commit_ts)
+            nxt = self._frontier.insert_and_next(key, txn.commit_ts, value, tid)
             next_ts = nxt[0] if nxt is not None else None
-            self._frontier.insert(key, txn.commit_ts, value, tid)
             for _, reader_tid, actual in self._ext_reads.affected_by(
                 key, txn.commit_ts, next_ts, upper_inclusive=True
             ):
@@ -200,11 +217,17 @@ class AionSer:
         return None
 
     def collect_below(self, ts: Optional[int] = None) -> GcReport:
-        """Transfer structures with timestamps <= ``ts`` to disk."""
+        """Transfer structures with timestamps <= ``ts`` to disk.
+
+        Report contract as for :meth:`repro.core.aion.Aion.collect_below`:
+        an empty checker yields a zero-count report whose ``effective_ts``
+        echoes the requested ``ts`` (``-1`` only when no ``ts`` was given).
+        """
         t0 = time.perf_counter()
         safe = self.gc_safe_ts()
         if safe is None:
-            return GcReport(ts if ts is not None else -1, -1, 0, 0, 0, 0.0)
+            requested = ts if ts is not None else -1
+            return GcReport(requested, requested, 0, 0, 0, time.perf_counter() - t0)
         effective = safe if ts is None else min(ts, safe)
 
         frontier_segment = self._frontier.evict_below(effective)
@@ -297,4 +320,4 @@ class AionSer:
         )
 
     def _drop_finalized_read(self, verdict: ExtVerdict) -> None:
-        self._ext_reads.remove(verdict.key, verdict.snapshot_ts)
+        self._ext_reads.remove(verdict.key, verdict.snapshot_ts, verdict.tid)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 __all__ = ["ExtVerdict", "ExtStatusTracker", "FlipFlopStats"]
 
@@ -130,7 +130,10 @@ class ExtStatusTracker:
         self._on_violation = on_violation
         self._on_finalized = on_finalized
         self._verdicts: Dict[Tuple[int, str], ExtVerdict] = {}
-        self._deadlines: List[Tuple[float, int]] = []
+        #: (deadline, sequence, tids) — the sequence number keeps entries
+        #: totally ordered so equal deadlines never compare tid tuples.
+        self._deadlines: List[Tuple[float, int, Tuple[int, ...]]] = []
+        self._deadline_seq = 0
         self._txn_pairs: Dict[int, List[Tuple[int, str]]] = {}
         self._timed_out: Set[int] = set()
         self.stats = FlipFlopStats()
@@ -158,7 +161,20 @@ class ExtStatusTracker:
 
     def arm_timer(self, tid: int, now: float) -> None:
         """Set the transaction's EXT re-checking deadline (line 3:3)."""
-        heapq.heappush(self._deadlines, (now + self._timeout, tid))
+        self.arm_timers((tid,), now)
+
+    def arm_timers(self, tids: Iterable[int], now: float) -> None:
+        """Arm one shared deadline for a whole arrival batch.
+
+        Batched ingestion stamps every transaction of a batch with the
+        same arrival time, so their deadlines coincide; a single heap
+        entry per batch amortizes the push and the later pops.
+        """
+        tids = tuple(tids)
+        if not tids:
+            return
+        heapq.heappush(self._deadlines, (now + self._timeout, self._deadline_seq, tids))
+        self._deadline_seq += 1
 
     def reevaluate(self, tid: int, key: str, ok: bool, expected: Any, now: float) -> Optional[ExtVerdict]:
         """Apply a re-check result; no-op for finalized or unknown pairs."""
@@ -183,22 +199,23 @@ class ExtStatusTracker:
         """
         finalized: List[ExtVerdict] = []
         while self._deadlines and self._deadlines[0][0] <= now:
-            _, tid = heapq.heappop(self._deadlines)
-            if tid in self._timed_out:
-                continue
-            self._timed_out.add(tid)
-            for pair in self._txn_pairs.pop(tid, []):
-                verdict = self._verdicts.pop(pair, None)
-                if verdict is None or verdict.finalized:
+            _, _, tids = heapq.heappop(self._deadlines)
+            for tid in tids:
+                if tid in self._timed_out:
                     continue
-                verdict.finalized = True
-                self._record_final(verdict)
-                finalized.append(verdict)
-                if not verdict.ok:
-                    self.stats.n_final_violations += 1
-                    self._on_violation(verdict)
-                if self._on_finalized is not None:
-                    self._on_finalized(verdict)
+                self._timed_out.add(tid)
+                for pair in self._txn_pairs.pop(tid, []):
+                    verdict = self._verdicts.pop(pair, None)
+                    if verdict is None or verdict.finalized:
+                        continue
+                    verdict.finalized = True
+                    self._record_final(verdict)
+                    finalized.append(verdict)
+                    if not verdict.ok:
+                        self.stats.n_final_violations += 1
+                        self._on_violation(verdict)
+                    if self._on_finalized is not None:
+                        self._on_finalized(verdict)
         return finalized
 
     def flush(self) -> List[ExtVerdict]:

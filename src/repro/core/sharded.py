@@ -1,0 +1,651 @@
+"""ShardedAion — a sharded, batch-oriented ingestion frontend for Aion.
+
+Algorithm 3's per-arrival work decomposes cleanly by key: the versioned
+frontier query of step ① , the interval-overlap query of step ② and the
+EXT re-check sweep of step ③ each touch exactly the keys the arriving
+transaction reads or writes.  Since every key is owned by exactly one
+shard, hash-partitioning the three versioned structures
+(:class:`~repro.core.versioned.VersionedFrontier`,
+:class:`~repro.core.versioned.WriterIntervals`,
+:class:`~repro.core.versioned.ExtReadIndex`) across N independent shard
+states preserves the single-checker semantics exactly, while the
+cross-key state — SESSION tracking, INT checking, the EXT timer queue,
+violation aggregation, the resident set and GC — stays in a global
+coordinator.
+
+Ingestion is *batch oriented*: the collector ships transactions in
+batches (Fig 3), and :meth:`ShardedAion.receive_many` plans one ordered
+command list per shard for the whole batch, executes the shard lists
+(serially in-process, or in parallel worker processes), and merges the
+results back in arrival order.  The equivalence argument is short:
+
+- per-key commands of one transaction are enqueued in the same order
+  Aion executes them, and commands of transaction *i* precede those of
+  transaction *j > i* in every shard stream, so each shard's structures
+  go through exactly the states they would under sequential Aion;
+- commands on different keys operate on disjoint state and commute;
+- the coordinator applies global effects (EXT tracking, re-evaluation,
+  conflict reports) by walking the batch in arrival order, so per-pair
+  verdict updates happen in the sequential order as well.
+
+Hence the final violation multiset equals single-shard Aion's — the
+differential tests in ``tests/test_sharded.py`` demonstrate it.
+
+The optional ``executor="process"`` mode keeps each shard's state in a
+dedicated worker process connected by a pipe; a batch then dispatches all
+shard command lists at once and the shards execute them in parallel,
+free of the GIL.  Results (and therefore verdicts) are identical — only
+where the commands run changes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import zlib
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.aion import AionConfig, GcReport, _TID_MAX
+from repro.core.common import BOTTOM, SessionTracker, simulate_transaction_ops, values_match
+from repro.core.ext_status import ExtStatusTracker, ExtVerdict, FlipFlopStats
+from repro.core.spill import SpillStore
+from repro.core.versioned import ExtReadIndex, VersionedFrontier, WriterIntervals
+from repro.core.violations import (
+    Axiom,
+    CheckResult,
+    ConflictViolation,
+    ExtViolation,
+    IntViolation,
+    TimestampOrderViolation,
+    Violation,
+)
+from repro.histories.model import OpKind, Transaction
+from repro.util.sizeof import deep_sizeof
+from repro.util.sortedmap import SortedMap
+
+__all__ = ["ShardedAion", "shard_of"]
+
+
+def shard_of(key: str, n_shards: int) -> int:
+    """Stable key → shard routing (crc32; Python's ``hash`` is salted)."""
+    return zlib.crc32(key.encode("utf-8")) % n_shards
+
+
+class _ShardCore:
+    """One shard's versioned structures plus a command interpreter.
+
+    Commands are plain tuples so they cross a process boundary cheaply;
+    ``execute`` applies a batch's ordered command list and returns one
+    result per command.
+    """
+
+    __slots__ = ("frontier", "writers", "ext_reads")
+
+    def __init__(self) -> None:
+        self.frontier = VersionedFrontier()
+        self.writers = WriterIntervals()
+        self.ext_reads = ExtReadIndex()
+
+    def execute(self, commands: List[Tuple]) -> List[Any]:
+        results: List[Any] = []
+        for command in commands:
+            op = command[0]
+            if op == "visible":
+                _, key, ts = command
+                # Wrapped in a 1-tuple so the result is never None: the
+                # merge walk distinguishes semantic results from the None
+                # results of bookkeeping commands by exactly that.
+                results.append((self.frontier.value_at(key, ts, BOTTOM),))
+            elif op == "add_read":
+                _, key, snapshot_ts, tid, actual = command
+                self.ext_reads.add(key, snapshot_ts, tid, actual)
+                results.append(None)
+            elif op == "remove_read":
+                _, key, snapshot_ts, tid = command
+                self.ext_reads.remove(key, snapshot_ts, tid)
+                results.append(None)
+            elif op == "overlap_add":
+                _, key, start_ts, commit_ts, tid = command
+                hits = [
+                    (hit.owner, hit.end)
+                    for hit in self.writers.overlapping(
+                        key, start_ts, commit_ts, exclude_tid=tid
+                    )
+                ]
+                self.writers.add(key, start_ts, commit_ts, tid)
+                results.append(hits)
+            elif op == "insert_recheck":
+                _, key, commit_ts, value, tid, optimized = command
+                nxt = self.frontier.insert_and_next(key, commit_ts, value, tid)
+                reevals: List[Tuple[int, bool, Any]] = []
+                if optimized:
+                    next_ts = nxt[0] if nxt is not None else None
+                    for _sts, reader_tid, actual in self.ext_reads.affected_by(
+                        key, commit_ts, next_ts
+                    ):
+                        if reader_tid == tid:
+                            continue
+                        reevals.append((reader_tid, actual == value, value))
+                else:
+                    for snapshot_ts, reader_tid, actual in self.ext_reads.affected_by(
+                        key, 0, None
+                    ):
+                        if reader_tid == tid:
+                            continue
+                        expected = self.frontier.value_at(key, snapshot_ts, BOTTOM)
+                        reevals.append(
+                            (reader_tid, values_match(expected, actual), expected)
+                        )
+                results.append(reevals)
+            elif op == "evict":
+                _, ts = command
+                results.append((self.frontier.evict_below(ts), self.writers.evict_below(ts)))
+            elif op == "merge":
+                _, frontier_segment, interval_segment = command
+                self.frontier.merge(
+                    {
+                        k: [tuple(v) for v in versions]
+                        for k, versions in frontier_segment.items()
+                    }
+                )
+                self.writers.merge(
+                    {k: [tuple(v) for v in ivs] for k, ivs in interval_segment.items()}
+                )
+                results.append(None)
+            elif op == "sizeof":
+                results.append(deep_sizeof((self.frontier, self.writers, self.ext_reads)))
+            else:  # pragma: no cover - guarded by the planner
+                raise ValueError(f"unknown shard command {op!r}")
+        return results
+
+
+def _shard_worker(conn) -> None:
+    """Process-mode loop: own one shard core, serve command batches."""
+    core = _ShardCore()
+    try:
+        while True:
+            commands = conn.recv()
+            if commands is None:
+                break
+            conn.send(core.execute(commands))
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - teardown races
+        pass
+    finally:
+        conn.close()
+
+
+class ShardedAion:
+    """Online SI checker with hash-partitioned state and batch ingestion.
+
+    Parameters
+    ----------
+    config:
+        Shared :class:`~repro.core.aion.AionConfig` tunables.
+    n_shards:
+        Number of independent shard states (1 behaves like :class:`Aion`).
+    clock:
+        Zero-argument time source, as for :class:`Aion`.
+    executor:
+        ``"serial"`` executes shard command lists in-process; ``"process"``
+        pins each shard to a dedicated worker process and executes a
+        batch's shard lists in parallel.  Verdicts are identical.
+    """
+
+    def __init__(
+        self,
+        config: Optional[AionConfig] = None,
+        *,
+        n_shards: int = 4,
+        clock: Optional[Callable[[], float]] = None,
+        executor: str = "serial",
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if executor not in ("serial", "process"):
+            raise ValueError(f"unknown executor {executor!r}")
+        self.config = config or AionConfig()
+        self.n_shards = n_shards
+        self.executor = executor
+        self._clock = clock if clock is not None else time.monotonic
+        self._sessions = SessionTracker(mode="si")
+        self._ext = ExtStatusTracker(
+            timeout=self.config.timeout,
+            on_violation=self._report_ext_violation,
+            on_finalized=self._drop_finalized_read,
+        )
+        self._result = CheckResult()
+        self._fresh: List[Violation] = []
+        self._resident: Dict[int, Transaction] = {}
+        self._resident_by_cts: SortedMap = SortedMap()
+        self._spill: Optional[SpillStore] = None
+        self._collected_upto: Optional[int] = None
+        self.processed = 0
+        #: remove_read commands owed to shards, flushed with the next batch
+        #: (re-evaluating a finalized pair is a tracker no-op, so deferred
+        #: removal cannot change verdicts — it only bounds index growth).
+        self._pending_removals: List[List[Tuple]] = [[] for _ in range(n_shards)]
+        self._cores: Optional[List[_ShardCore]] = None
+        self._workers: List[multiprocessing.Process] = []
+        self._conns: List[Any] = []
+        if executor == "serial":
+            self._cores = [_ShardCore() for _ in range(n_shards)]
+        else:
+            ctx = multiprocessing.get_context()
+            for _ in range(n_shards):
+                parent_conn, child_conn = ctx.Pipe()
+                worker = ctx.Process(target=_shard_worker, args=(child_conn,), daemon=True)
+                worker.start()
+                child_conn.close()
+                self._workers.append(worker)
+                self._conns.append(parent_conn)
+
+    # ------------------------------------------------------------------
+    # Receiving transactions
+    # ------------------------------------------------------------------
+
+    def receive(self, txn: Transaction) -> None:
+        """Process one transaction (a batch of one)."""
+        self.receive_many([txn])
+
+    def receive_many(self, txns: List[Transaction]) -> None:
+        """Process a batch of arrivals sharing one arrival instant.
+
+        Equivalent to feeding the batch one-by-one into single-shard Aion
+        under a clock frozen for the batch's duration; see the module
+        docstring for the argument.
+        """
+        for txn in txns:
+            for op in txn.ops:
+                if op.kind is OpKind.APPEND:
+                    raise ValueError(
+                        "ShardedAion checks key-value histories online; list "
+                        "(append) histories are checked offline by Chronos"
+                    )
+        now = self._clock()
+        self._ext.advance_to(now)
+
+        shard_cmds: List[List[Tuple]] = [[] for _ in range(self.n_shards)]
+        for shard, removals in enumerate(self._pending_removals):
+            if removals:
+                shard_cmds[shard].extend(removals)
+                self._pending_removals[shard] = []
+
+        plan = self._plan_batch(txns, shard_cmds)
+        shard_results = self._execute(shard_cmds)
+        self._merge(plan, shard_results, now)
+
+    def _plan_batch(
+        self, txns: List[Transaction], shard_cmds: List[List[Tuple]]
+    ) -> List[Tuple[Transaction, Optional[List[Tuple]]]]:
+        """Build per-shard command streams; report order-independent
+        violations (Eq. 1, SESSION, INT) as they are discovered.
+
+        Returns, per transaction, the descriptor list the merge phase
+        walks — None when the transaction was rejected by Eq. 1 and owns
+        no shard commands.
+        """
+        plan: List[Tuple[Transaction, Optional[List[Tuple]]]] = []
+        for txn in txns:
+            tid = txn.tid
+            if txn.start_ts > txn.commit_ts:  # Eq. 1
+                self._report(
+                    TimestampOrderViolation(
+                        axiom=Axiom.TS_ORDER,
+                        tid=tid,
+                        start_ts=txn.start_ts,
+                        commit_ts=txn.commit_ts,
+                    )
+                )
+                plan.append((txn, None))
+                continue
+
+            # Severely delayed transaction below the GC boundary: splice a
+            # full reload into every shard stream at this sequence point
+            # (Aion's reload-on-demand, ▧).  The unoptimized ablation also
+            # re-checks arbitrarily old snapshot points on every write, so
+            # it reloads whenever spilled state exists at all.
+            if self._spill is not None and len(self._spill) > 0:
+                below_boundary = (
+                    self._collected_upto is not None
+                    and txn.start_ts <= self._collected_upto
+                )
+                ablation_write = not self.config.optimized_recheck and any(
+                    op.kind is OpKind.WRITE for op in txn.ops
+                )
+                if below_boundary or ablation_write:
+                    self._plan_reload(shard_cmds)
+
+            violation = self._sessions.observe(txn)
+            if violation is not None:
+                self._report(violation)
+
+            # INT is key-local: a mismatch compares a read against the
+            # transaction's own prior state, so no shard query is needed
+            # (snapshot values feed only EXT, handled below).
+            writes = simulate_transaction_ops(
+                txn,
+                lambda key: BOTTOM,
+                lambda key, exp, act: None,
+                lambda key, exp, act: self._report(
+                    IntViolation(axiom=Axiom.INT, tid=tid, key=key, expected=exp, actual=act)
+                ),
+            )
+
+            steps: List[Tuple] = []
+            for key, op in txn.external_reads.items():
+                shard = shard_of(key, self.n_shards)
+                shard_cmds[shard].append(("visible", key, txn.start_ts))
+                shard_cmds[shard].append(("add_read", key, txn.start_ts, tid, op.value))
+                steps.append(("track", shard, key, op.value))
+            for key in writes:
+                shard = shard_of(key, self.n_shards)
+                shard_cmds[shard].append(
+                    ("overlap_add", key, txn.start_ts, txn.commit_ts, tid)
+                )
+                steps.append(("conflicts", shard, key))
+            for key, value in writes.items():
+                shard = shard_of(key, self.n_shards)
+                shard_cmds[shard].append(
+                    (
+                        "insert_recheck",
+                        key,
+                        txn.commit_ts,
+                        value,
+                        tid,
+                        self.config.optimized_recheck,
+                    )
+                )
+                steps.append(("reevals", shard, key))
+            plan.append((txn, steps))
+        return plan
+
+    def _plan_reload(self, shard_cmds: List[List[Tuple]]) -> None:
+        """Enqueue spilled segments back into their shards, in-stream."""
+        if self._spill is None:
+            return
+        for payload in self._spill.reload_overlapping(0, None):
+            for shard_key, segment in payload.get("shards", {}).items():
+                shard = int(shard_key)
+                shard_cmds[shard].append(
+                    ("merge", segment.get("frontier", {}), segment.get("intervals", {}))
+                )
+
+    def _execute(self, shard_cmds: List[List[Tuple]]) -> List[List[Any]]:
+        if self._cores is not None:
+            return [core.execute(cmds) for core, cmds in zip(self._cores, shard_cmds)]
+        # Process mode: dispatch every non-empty stream, then collect —
+        # the workers run their lists concurrently.
+        dispatched = []
+        for shard, cmds in enumerate(shard_cmds):
+            if cmds:
+                self._conns[shard].send(cmds)
+                dispatched.append(shard)
+        results: List[List[Any]] = [[] for _ in range(self.n_shards)]
+        for shard in dispatched:
+            results[shard] = self._conns[shard].recv()
+        return results
+
+    def _merge(
+        self,
+        plan: List[Tuple[Transaction, Optional[List[Tuple]]]],
+        shard_results: List[List[Any]],
+        now: float,
+    ) -> None:
+        """Apply global effects in arrival order, consuming shard results.
+
+        Every semantic command (visible / overlap_add / insert_recheck)
+        returns a non-None result; bookkeeping commands (remove_read,
+        merge) and add_read return None.  The planner enqueued semantic
+        commands in exactly the order the step walk requests them, so a
+        per-shard cursor that skips None results stays aligned without
+        any positional bookkeeping.
+        """
+        cursors = [0] * self.n_shards
+
+        def next_semantic(shard: int) -> Any:
+            results = shard_results[shard]
+            cursor = cursors[shard]
+            while results[cursor] is None:
+                cursor += 1
+            cursors[shard] = cursor + 1
+            return results[cursor]
+
+        armed: List[int] = []
+        for txn, steps in plan:
+            if steps is None:
+                continue
+            tid = txn.tid
+            for step in steps:
+                kind, shard, key = step[0], step[1], step[2]
+                if kind == "track":
+                    (expected,) = next_semantic(shard)
+                    actual = step[3]
+                    self._ext.track(
+                        tid,
+                        key,
+                        txn.start_ts,
+                        actual,
+                        ok=values_match(expected, actual),
+                        expected=expected,
+                        now=now,
+                    )
+                elif kind == "conflicts":
+                    for owner, end in next_semantic(shard):
+                        self._report_conflict(txn, owner, end, key)
+                else:  # "reevals"
+                    for reader_tid, ok, expected in next_semantic(shard):
+                        self._ext.reevaluate(reader_tid, key, ok, expected, now)
+            self._resident[tid] = txn
+            self._resident_by_cts[(txn.commit_ts, tid)] = tid
+            self.processed += 1
+            armed.append(tid)
+        self._ext.arm_timers(armed, now)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def poll(self) -> List[Violation]:
+        """Drain violations reported since the previous poll."""
+        self._ext.advance_to(self._clock())
+        fresh, self._fresh = self._fresh, []
+        return fresh
+
+    def finalize(self) -> CheckResult:
+        """Force-finalize all pending EXT verdicts and return the result."""
+        self._ext.flush()
+        return self._result
+
+    @property
+    def result(self) -> CheckResult:
+        return self._result
+
+    @property
+    def flipflop_stats(self) -> FlipFlopStats:
+        return self._ext.stats
+
+    @property
+    def resident_txn_count(self) -> int:
+        return len(self._resident)
+
+    @property
+    def spill_store(self) -> Optional[SpillStore]:
+        return self._spill
+
+    def estimated_bytes(self) -> int:
+        """Deep-size estimate across coordinator and all shards."""
+        total = deep_sizeof((self._resident, self._ext))
+        if self._cores is not None:
+            total += deep_sizeof(tuple(self._cores))
+        else:
+            for conn in self._conns:
+                conn.send([("sizeof",)])
+            for conn in self._conns:
+                total += conn.recv()[0]
+        return total
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+
+    def gc_safe_ts(self) -> Optional[int]:
+        """Collection watermark covering everything resident (see Aion)."""
+        if not self._resident_by_cts:
+            return None
+        (max_cts, _), _ = self._resident_by_cts.max_item()
+        return max_cts
+
+    def suggest_gc_ts(self, keep_recent: int = 2000) -> Optional[int]:
+        """Watermark sparing the ``keep_recent`` newest residents."""
+        excess = len(self._resident_by_cts) - keep_recent
+        if excess <= 0:
+            return None
+        for index, ((cts, _tid), _) in enumerate(self._resident_by_cts.items()):
+            if index == excess - 1:
+                return cts
+        return None
+
+    def collect_below(self, ts: Optional[int] = None) -> GcReport:
+        """Evict per-shard structures and residents below ``ts`` to disk.
+
+        Same report contract as :meth:`repro.core.aion.Aion.collect_below`:
+        zero-count report echoing ``ts`` when nothing is resident (with
+        the ``-1`` sentinel only when ``ts`` was also absent).
+        """
+        t0 = time.perf_counter()
+        safe = self.gc_safe_ts()
+        if safe is None:
+            requested = ts if ts is not None else -1
+            return GcReport(requested, requested, 0, 0, 0, time.perf_counter() - t0)
+        effective = safe if ts is None else min(ts, safe)
+
+        segments: List[Tuple[Dict, Dict]] = []
+        if self._cores is not None:
+            for core in self._cores:
+                segments.append(core.execute([("evict", effective)])[0])
+        else:
+            for conn in self._conns:
+                conn.send([("evict", effective)])
+            for conn in self._conns:
+                segments.append(conn.recv()[0])
+
+        evicted_txns: List[Transaction] = []
+        for (cts, tid), _ in self._resident_by_cts.pop_below((effective, _TID_MAX)):
+            txn = self._resident.pop(tid, None)
+            if txn is not None:
+                evicted_txns.append(txn)
+
+        n_versions = sum(
+            len(versions) for frontier_seg, _ in segments for versions in frontier_seg.values()
+        )
+        n_intervals = sum(
+            len(ivs) for _, interval_seg in segments for ivs in interval_seg.values()
+        )
+        if n_versions or n_intervals or evicted_txns:
+            if self._spill is None:
+                self._spill = SpillStore(self.config.spill_dir)
+            from repro.histories.serialization import txn_to_dict
+
+            content_min = effective
+            for frontier_seg, interval_seg in segments:
+                for versions in frontier_seg.values():
+                    for cts, _value, _tid in versions:
+                        if cts < content_min:
+                            content_min = cts
+                for ivs in interval_seg.values():
+                    for start_ts, _end_ts, _tid in ivs:
+                        if start_ts < content_min:
+                            content_min = start_ts
+            for txn in evicted_txns:
+                if txn.start_ts < content_min:
+                    content_min = txn.start_ts
+            self._spill.spill(
+                content_min,
+                effective,
+                {
+                    "shards": {
+                        str(shard): {
+                            "frontier": frontier_seg,
+                            "intervals": interval_seg,
+                        }
+                        for shard, (frontier_seg, interval_seg) in enumerate(segments)
+                        if frontier_seg or interval_seg
+                    },
+                    "txns": [txn_to_dict(t) for t in evicted_txns],
+                },
+                n_items=n_versions + n_intervals + len(evicted_txns),
+            )
+        if self._collected_upto is None or effective > self._collected_upto:
+            self._collected_upto = effective
+        return GcReport(
+            requested_ts=ts if ts is not None else safe,
+            effective_ts=effective,
+            evicted_versions=n_versions,
+            evicted_intervals=n_intervals,
+            evicted_txns=len(evicted_txns),
+            seconds=time.perf_counter() - t0,
+        )
+
+    def close(self) -> None:
+        """Stop worker processes and release the spill directory."""
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._workers:
+            worker.join(timeout=5)
+            if worker.is_alive():  # pragma: no cover - stuck worker
+                worker.terminate()
+        for conn in self._conns:
+            conn.close()
+        self._conns = []
+        self._workers = []
+        if self._spill is not None:
+            self._spill.close()
+            self._spill = None
+
+    def __enter__(self) -> "ShardedAion":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _report(self, violation: Violation) -> None:
+        self._result.add(violation)
+        self._fresh.append(violation)
+
+    def _report_conflict(self, txn: Transaction, other_tid: int, other_cts: int, key: str) -> None:
+        if txn.commit_ts < other_cts:
+            earlier, later = txn.tid, other_tid
+        else:
+            earlier, later = other_tid, txn.tid
+        self._report(
+            ConflictViolation(
+                axiom=Axiom.NOCONFLICT,
+                tid=earlier,
+                key=key,
+                conflicting_tids=frozenset({later}),
+            )
+        )
+
+    def _report_ext_violation(self, verdict: ExtVerdict) -> None:
+        self._report(
+            ExtViolation(
+                axiom=Axiom.EXT,
+                tid=verdict.tid,
+                key=verdict.key,
+                expected=verdict.expected,
+                actual=verdict.actual,
+            )
+        )
+
+    def _drop_finalized_read(self, verdict: ExtVerdict) -> None:
+        shard = shard_of(verdict.key, self.n_shards)
+        self._pending_removals[shard].append(
+            ("remove_read", verdict.key, verdict.snapshot_ts, verdict.tid)
+        )

@@ -66,6 +66,21 @@ class VersionedFrontier:
         commit_ts, (value, tid) = item
         return (commit_ts, value, tid)
 
+    def value_at(self, key: str, ts: int, default: Any = None) -> Any:
+        """The visible *value* at ``ts``, or ``default`` for no version.
+
+        Equivalent to ``latest_at(key, ts)[1]`` without materializing the
+        version tuple — the batch ingestion kernel issues this query per
+        external read, where the tuple build is pure overhead.
+        """
+        versions = self._by_key.get(key)
+        if versions is None:
+            return default
+        item = versions.floor_item(ts)
+        if item is None:
+            return default
+        return item[1][0]
+
     def latest_before(self, key: str, ts: int) -> Optional[FrontierVersion]:
         """Greatest version with ``commit_ts < ts`` (serial predecessor)."""
         versions = self._by_key.get(key)
@@ -87,6 +102,26 @@ class VersionedFrontier:
             return None
         commit_ts, (value, tid) = item
         return (commit_ts, value, tid)
+
+    def insert_and_next(
+        self, key: str, commit_ts: int, value: Any, tid: int
+    ) -> Optional[FrontierVersion]:
+        """Insert a version and return the one overwriting it, in one pass.
+
+        Equivalent to :meth:`next_after` followed by :meth:`insert`, but a
+        single skiplist descent — the exact pair of operations step ③
+        performs per written key.
+        """
+        versions = self._by_key.get(key)
+        if versions is None:
+            versions = self._by_key[key] = SortedMap()
+        was_present, nxt = versions.set_and_higher(commit_ts, (value, tid))
+        if not was_present:
+            self._n_versions += 1
+        if nxt is None:
+            return None
+        next_ts, (next_value, next_tid) = nxt
+        return (next_ts, next_value, next_tid)
 
     def evict_below(self, ts: int) -> Dict[str, List[Tuple[int, Any, int]]]:
         """Remove versions with ``commit_ts <= ts``, keeping one per key.
@@ -174,11 +209,19 @@ class WriterIntervals:
 class ExtReadIndex:
     """Per-key external reads indexed by snapshot point.
 
-    Each entry is ``snapshot_ts -> (tid, actual_value)``.  For Aion (SI)
-    the snapshot point is the reader's ``start_ts``; for Aion-SER it is
-    the reader's ``commit_ts``.  Entries are removed when the read's EXT
-    verdict is finalized by timeout — finalized reads are never re-checked
-    (Algorithm 3, lines 40–41), which keeps the index small.
+    Each entry is ``snapshot_ts -> [(tid, actual_value), ...]`` — a *list*
+    of readers, because distinct transactions may share a snapshot point
+    (concurrent readers handed the same database snapshot all carry the
+    same ``start_ts``).  Storing a single reader per snapshot would let
+    one reader clobber another at insertion, and finalizing one reader
+    would evict the others from step-③ re-checking — silently dropped
+    re-checks, i.e. missed EXT violations.
+
+    For Aion (SI) the snapshot point is the reader's ``start_ts``; for
+    Aion-SER it is the reader's ``commit_ts``.  Entries are removed
+    per-reader when that read's EXT verdict is finalized by timeout —
+    finalized reads are never re-checked (Algorithm 3, lines 40–41),
+    which keeps the index small.
     """
 
     __slots__ = ("_by_key", "_n_reads")
@@ -194,19 +237,31 @@ class ExtReadIndex:
         index = self._by_key.get(key)
         if index is None:
             index = self._by_key[key] = SortedMap()
-        if snapshot_ts not in index:
-            self._n_reads += 1
-        index[snapshot_ts] = (tid, actual)
+        readers = index.get(snapshot_ts)
+        if readers is None:
+            index[snapshot_ts] = [(tid, actual)]
+        else:
+            readers.append((tid, actual))
+        self._n_reads += 1
 
-    def remove(self, key: str, snapshot_ts: int) -> None:
+    def remove(self, key: str, snapshot_ts: int, tid: int) -> None:
+        """Drop ``tid``'s read of ``key`` at ``snapshot_ts``; other readers
+        sharing the snapshot point stay indexed.  Idempotent."""
         index = self._by_key.get(key)
         if index is None:
             return
-        try:
-            del index[snapshot_ts]
-        except KeyError:
+        readers = index.get(snapshot_ts)
+        if readers is None:
             return
-        self._n_reads -= 1
+        for position, (reader_tid, _actual) in enumerate(readers):
+            if reader_tid == tid:
+                del readers[position]
+                self._n_reads -= 1
+                break
+        else:
+            return
+        if not readers:
+            del index[snapshot_ts]
 
     def affected_by(
         self,
@@ -218,27 +273,34 @@ class ExtReadIndex:
     ) -> Iterator[Tuple[int, int, Any]]:
         """Reads whose visible version becomes the one at ``version_ts``.
 
-        Yields ``(snapshot_ts, tid, actual_value)`` for snapshot points in
-        ``[version_ts, next_version_ts)`` — or ``(version_ts,
-        next_version_ts]`` with ``upper_inclusive=True``, the bound needed
-        by Aion-SER where a reader at exactly the next version's commit
-        timestamp is that version's own writer and sees the new version.
+        Yields ``(snapshot_ts, tid, actual_value)`` for every reader with
+        a snapshot point in ``[version_ts, next_version_ts)`` — or
+        ``(version_ts, next_version_ts]`` with ``upper_inclusive=True``,
+        the bound needed by Aion-SER where a reader at exactly the next
+        version's commit timestamp is that version's own writer and sees
+        the new version.
         """
         index = self._by_key.get(key)
         if index is None:
             return
-        for snapshot_ts, (tid, actual) in index.irange(
+        for snapshot_ts, readers in index.irange(
             version_ts, next_version_ts, inclusive=(True, upper_inclusive)
         ):
-            yield snapshot_ts, tid, actual
+            for tid, actual in list(readers):
+                yield snapshot_ts, tid, actual
 
     def evict_below(self, ts: int) -> Dict[str, List[Tuple[int, int, Any]]]:
         evicted: Dict[str, List[Tuple[int, int, Any]]] = {}
         for key, index in self._by_key.items():
             removed = index.pop_below(ts, inclusive=True)
             if removed:
-                evicted[key] = [(sts, tid, actual) for sts, (tid, actual) in removed]
-                self._n_reads -= len(removed)
+                flat = [
+                    (sts, tid, actual)
+                    for sts, readers in removed
+                    for tid, actual in readers
+                ]
+                evicted[key] = flat
+                self._n_reads -= len(flat)
         return evicted
 
     def merge(self, segment: Dict[str, List[Tuple[int, int, Any]]]) -> None:

@@ -13,6 +13,11 @@ paper's online figures report.  Two pacing modes:
   up — virtual time snaps to each arrival's scheduled time, so EXT
   timeout and flip-flop timings are exact functions of the delay model.
 
+A third, **batched capacity mode** feeds the checker whole collector
+batches through ``receive_many`` — the sharded ingestion frontend's
+native unit of work — with the same virtual-time accounting as capacity
+mode.
+
 GC policies reproduce the three Fig 12 strategies: ``no-gc``,
 ``checking-gc`` (threshold-triggered collection of everything below the
 GC-safe timestamp) and ``full-gc`` (a hard resident cap enforced
@@ -35,9 +40,10 @@ __all__ = ["GcPolicy", "OnlineRunner", "OnlineRunReport", "OnlineChecker"]
 
 
 class OnlineChecker(Protocol):
-    """What the runner needs from Aion / Aion-SER."""
+    """What the runner needs from Aion / Aion-SER / ShardedAion."""
 
     def receive(self, txn) -> None: ...
+    def receive_many(self, txns) -> None: ...
     def finalize(self) -> CheckResult: ...
     @property
     def resident_txn_count(self) -> int: ...
@@ -114,37 +120,95 @@ class OnlineRunner:
             self.checker.receive(txn)
             self.clock.advance(time.perf_counter() - t0)
 
-            if self.gc_policy is not GcPolicy.NO_GC:
-                if self.checker.resident_txn_count >= self.gc_threshold:
-                    t_gc = time.perf_counter()
-                    if self.gc_policy is GcPolicy.FULL_GC:
-                        # Hard limit: evict everything immediately; each
-                        # subsequent dip below the boundary forces a
-                        # segment reload (the paper's repeatedly
-                        # re-triggered full GC).
-                        self.checker.collect_below(None)
-                    else:
-                        # Threshold GC keeps a recency margin so slightly
-                        # late arrivals rarely touch spilled segments.
-                        target = self.checker.suggest_gc_ts(
-                            keep_recent=max(1, self.gc_threshold // 2)
-                        )
-                        if target is not None:
-                            self.checker.collect_below(target)
-                    pause = time.perf_counter() - t_gc
-                    # full-gc blocks checking; checking-gc overlaps half
-                    # of the pause with useful work (background thread in
-                    # the original system).
-                    if self.gc_policy is GcPolicy.FULL_GC:
-                        self.clock.advance(pause)
-                    else:
-                        self.clock.advance(pause * 0.5)
-                    gc_seconds += pause
-                    n_gc += 1
+            pause = self._maybe_collect()
+            if pause is not None:
+                gc_seconds += pause
+                n_gc += 1
 
             throughput.record(self.clock.now())
             if sampler is not None:
                 sampler.maybe_sample(self.clock.now())
+
+        result = self.checker.finalize()
+        return OnlineRunReport(
+            throughput=throughput,
+            result=result,
+            n_processed=len(schedule),
+            n_gc_cycles=n_gc,
+            gc_seconds=gc_seconds,
+            wall_seconds=time.perf_counter() - wall_start,
+            virtual_seconds=self.clock.now(),
+            memory_samples=sampler.samples if sampler is not None else [],
+        )
+
+    def _maybe_collect(self) -> Optional[float]:
+        """Apply the configured GC policy once; return the pause if any.
+
+        FULL_GC enforces a hard resident cap (evict everything; each
+        subsequent dip below the boundary forces a segment reload — the
+        paper's repeatedly re-triggered full GC).  CHECKING_GC keeps a
+        recency margin so slightly late arrivals rarely touch spilled
+        segments, and overlaps half of the pause with useful work (a
+        background thread in the original system), so only half of the
+        measured pause advances virtual time.
+        """
+        if self.gc_policy is GcPolicy.NO_GC:
+            return None
+        if self.checker.resident_txn_count < self.gc_threshold:
+            return None
+        t_gc = time.perf_counter()
+        if self.gc_policy is GcPolicy.FULL_GC:
+            self.checker.collect_below(None)
+        else:
+            target = self.checker.suggest_gc_ts(
+                keep_recent=max(1, self.gc_threshold // 2)
+            )
+            if target is not None:
+                self.checker.collect_below(target)
+        pause = time.perf_counter() - t_gc
+        if self.gc_policy is GcPolicy.FULL_GC:
+            self.clock.advance(pause)
+        else:
+            self.clock.advance(pause * 0.5)
+        return pause
+
+    def run_capacity_batched(
+        self, schedule: ArrivalSchedule, *, batch_size: int = 500
+    ) -> OnlineRunReport:
+        """Wall-clock-paced run feeding the checker whole batches.
+
+        Groups consecutive arrivals into batches of ``batch_size`` and
+        hands each to :meth:`OnlineChecker.receive_many` — the checker may
+        only start a batch once its last member arrived, so virtual time
+        first snaps to that arrival and then advances by the measured
+        cost of the batch.  GC policies apply between batches.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        throughput = ThroughputSeries()
+        sampler = self._make_sampler()
+        gc_seconds = 0.0
+        n_gc = 0
+        wall_start = time.perf_counter()
+
+        arrivals = list(schedule)
+        for offset in range(0, len(arrivals), batch_size):
+            chunk = arrivals[offset : offset + batch_size]
+            self.clock.advance_to(chunk[-1][0])
+            batch = [txn for _, txn in chunk]
+            t0 = time.perf_counter()
+            self.checker.receive_many(batch)
+            self.clock.advance(time.perf_counter() - t0)
+
+            pause = self._maybe_collect()
+            if pause is not None:
+                gc_seconds += pause
+                n_gc += 1
+
+            throughput.record(self.clock.now(), count=len(batch))
+            if sampler is not None:
+                for _ in batch:
+                    sampler.maybe_sample(self.clock.now())
 
         result = self.checker.finalize()
         return OnlineRunReport(
@@ -192,7 +256,10 @@ class OnlineRunner:
         gc_seconds = 0.0
         n_gc = 0
         wall_start = time.perf_counter()
-        countdown = 0
+        # Start the countdown one full window in so the very first
+        # arrival triggers a sample (and GC decision): schedules shorter
+        # than ``check_every`` still produce at least one memory sample.
+        countdown = check_every
         for arrival_time, txn in schedule:
             self.clock.advance_to(arrival_time)
             t0 = time.perf_counter()

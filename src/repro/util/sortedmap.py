@@ -115,6 +115,40 @@ class SortedMap:
             update[level].forward[level] = new_node
         self._len += 1
 
+    def set_and_higher(self, key: Any, value: Any) -> Tuple[bool, Optional[Tuple[Any, Any]]]:
+        """Insert (or overwrite) ``key`` and return its successor in one descent.
+
+        Returns ``(was_present, higher_item)`` where ``was_present`` tells
+        whether ``key`` already existed and ``higher_item`` is the item
+        with the least key ``> key`` (or None).  Aion's step ③ needs both
+        the insertion and the next-version lookup at the same point of the
+        timeline; fusing them halves the skiplist descents on the ingest
+        hot path.
+        """
+        update: list[_Node] = [self._head] * _MAX_LEVEL
+        node = self._head
+        for level in range(self._level - 1, -1, -1):
+            nxt = node.forward[level]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.forward[level]
+            update[level] = node
+        candidate = node.forward[0]
+        if candidate is not None and candidate.key == key:
+            candidate.value = value
+            successor = candidate.forward[0]
+            return True, None if successor is None else (successor.key, successor.value)
+        height = self._random_level()
+        if height > self._level:
+            self._level = height
+        new_node = _Node(key, value, height)
+        for level in range(height):
+            new_node.forward[level] = update[level].forward[level]
+            update[level].forward[level] = new_node
+        self._len += 1
+        successor = new_node.forward[0]
+        return False, None if successor is None else (successor.key, successor.value)
+
     def __delitem__(self, key: Any) -> None:
         update: list[_Node] = [self._head] * _MAX_LEVEL
         node = self._head

@@ -7,6 +7,7 @@ from repro.core.chronos import Chronos
 from repro.core.reference import normalize_violations
 from repro.core.violations import Axiom
 from repro.histories.builder import HistoryBuilder
+from repro.histories.model import Transaction
 from repro.histories.ops import append, read, write
 from repro.online.clock import SimClock
 
@@ -180,3 +181,53 @@ class TestInputHandling:
         assert len(aion.poll()) == 1
         assert aion.poll() == []
         assert len(aion.result.violations) == 1
+
+
+class TestSharedSnapshotReaders:
+    """Regression: distinct readers sharing a snapshot point must each keep
+    their own pending EXT re-check (the single-entry ``ExtReadIndex``
+    silently clobbered / evicted co-snapshot readers).  Concurrent readers
+    handed the same database snapshot legitimately share ``start_ts``, so
+    the transactions are built directly rather than through the builder's
+    unique-timestamp convenience checks.
+    """
+
+    @staticmethod
+    def _shared_snapshot_txns(value_a, value_b):
+        writer = Transaction(1, 1, 0, [write("x", 1)], start_ts=1, commit_ts=5)
+        reader_a = Transaction(2, 2, 0, [read("x", value_a)], start_ts=10, commit_ts=11)
+        reader_b = Transaction(3, 3, 0, [read("x", value_b)], start_ts=10, commit_ts=12)
+        late = Transaction(4, 4, 0, [write("x", 2)], start_ts=6, commit_ts=7)
+        return writer, reader_a, reader_b, late
+
+    def test_both_shared_snapshot_readers_rechecked(self):
+        """Two readers at one start_ts; a late writer flips one to a
+        violation and rights the other.  With one index slot per snapshot
+        the first reader was never re-evaluated and stayed a false
+        positive."""
+        writer, reader_a, reader_b, late = self._shared_snapshot_txns(2, 1)
+        aion = make_aion()
+        result = feed(aion, [writer, reader_a, reader_b, late])
+        ext = result.by_axiom(Axiom.EXT)
+        # The late write of x=2 at commit 7 makes reader_a's read correct
+        # and reader_b's stale: exactly reader_b is a violation.
+        assert [v.tid for v in ext] == [reader_b.tid]
+        aion.close()
+
+    def test_finalizing_one_reader_spares_the_other(self):
+        """One reader's timeout must not evict a co-snapshot reader from
+        the index; the survivor still flips to a violation when a late
+        writer arrives before its own deadline."""
+        clock = SimClock()
+        aion = make_aion(timeout=5.0, clock=clock)
+        writer, reader_a, reader_b, late = self._shared_snapshot_txns(1, 1)
+        aion.receive(writer)
+        aion.receive(reader_a)      # deadline at t=5
+        clock.advance(1.0)
+        aion.receive(reader_b)      # deadline at t=6
+        clock.advance(4.5)          # t=5.5: reader_a finalized OK on arrival
+        aion.receive(late)          # must still re-check reader_b
+        result = aion.finalize()
+        ext = result.by_axiom(Axiom.EXT)
+        assert [v.tid for v in ext] == [reader_b.tid]
+        aion.close()

@@ -152,3 +152,24 @@ class TestDifferentialWithGc:
         after = aion.estimated_bytes()
         assert after < before
         aion.close()
+
+
+class TestEmptyGcReportContract:
+    def test_requested_ts_echoed_when_empty(self):
+        """An empty checker's no-op cycle echoes the requested watermark
+        instead of the confusing -1 sentinel (which now only means "no
+        watermark at all")."""
+        aion = make_aion()
+        report = aion.collect_below(500)
+        assert report.requested_ts == 500
+        assert report.effective_ts == 500
+        assert (report.evicted_versions, report.evicted_intervals, report.evicted_txns) == (0, 0, 0)
+        assert report.seconds >= 0.0
+
+    def test_requested_ts_echoed_when_empty_ser(self):
+        ser = AionSer(AionConfig(timeout=float("inf")), clock=lambda: 0.0)
+        report = ser.collect_below(500)
+        assert report.requested_ts == 500
+        assert report.effective_ts == 500
+        report = ser.collect_below(None)
+        assert report.effective_ts == -1

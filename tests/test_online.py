@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.aion import Aion, AionConfig
 from repro.online.clock import SimClock
-from repro.online.collector import HistoryCollector
+from repro.online.collector import ArrivalSchedule, HistoryCollector
 from repro.online.delays import NoDelay, NormalDelay
 from repro.online.metrics import MemorySampler, ThroughputSeries
 from repro.online.runner import GcPolicy, OnlineRunner
@@ -184,4 +184,19 @@ class TestRunner:
         assert report.n_gc_cycles >= 1
         assert report.result.is_valid
         assert report.memory_samples
+        checker.close()
+
+    def test_memory_capped_short_schedule_still_samples(self, si_history):
+        """A schedule shorter than ``check_every`` must still produce at
+        least one memory sample (the first decision window used to start
+        a full countdown late)."""
+        schedule = self._schedule(si_history)
+        short = ArrivalSchedule(schedule.arrivals[:50])
+        clock = SimClock()
+        checker = Aion(AionConfig(timeout=float("inf")), clock=clock)
+        report = OnlineRunner(checker, clock).run_memory_capped(
+            short, max_bytes=10**12, check_every=500
+        )
+        assert report.memory_samples, "short run produced no memory sample"
+        assert report.n_gc_cycles == 0  # generous cap: samples only
         checker.close()

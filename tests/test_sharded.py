@@ -1,0 +1,301 @@
+"""Differential tests: ShardedAion ≡ Aion, across shard counts and modes.
+
+The sharded frontend's whole claim is verdict equivalence (see the
+module docstring of :mod:`repro.core.sharded`): for any arrival order,
+any shard count, serial or process execution, per-transaction or batched
+ingestion, with or without GC — the violation multiset equals
+single-shard Aion's, which in turn equals Chronos's.
+"""
+
+from random import Random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aion import Aion, AionConfig
+from repro.core.chronos import Chronos
+from repro.core.reference import normalize_violations
+from repro.core.sharded import ShardedAion, shard_of
+from repro.histories.anomalies import ANOMALY_CATALOG
+from repro.online.clock import SimClock
+from repro.online.collector import HistoryCollector
+from repro.online.delays import NormalDelay
+from repro.online.runner import OnlineRunner
+from repro.workloads.generator import generate_default_history
+from repro.workloads.spec import WorkloadSpec
+
+from test_differential import session_respecting_shuffle, small_history
+
+
+def aion_baseline(txns):
+    checker = Aion(AionConfig(timeout=float("inf")), clock=lambda: 0.0)
+    for txn in txns:
+        checker.receive(txn)
+    result = normalize_violations(checker.finalize())
+    checker.close()
+    return result
+
+
+def sharded_verdicts(txns, *, n_shards, batch_size=1, executor="serial", gc_every=None):
+    checker = ShardedAion(
+        AionConfig(timeout=float("inf")),
+        n_shards=n_shards,
+        clock=lambda: 0.0,
+        executor=executor,
+    )
+    try:
+        for offset in range(0, len(txns), batch_size):
+            checker.receive_many(txns[offset : offset + batch_size])
+            if gc_every is not None and (offset // batch_size) % gc_every == gc_every - 1:
+                checker.collect_below(None)
+        return normalize_violations(checker.finalize())
+    finally:
+        checker.close()
+
+
+class TestShardRouting:
+    def test_stable_and_in_range(self):
+        for n in (1, 2, 4, 7):
+            for key in ("x", "key-123", "warehouse:4:stock:9"):
+                shard = shard_of(key, n)
+                assert 0 <= shard < n
+                assert shard == shard_of(key, n)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            ShardedAion(n_shards=0)
+        with pytest.raises(ValueError):
+            ShardedAion(executor="threads")
+
+
+@pytest.mark.parametrize("n_shards", [1, 2, 4])
+@pytest.mark.parametrize("name", sorted(ANOMALY_CATALOG))
+def test_anomaly_catalog_matches_aion(name, n_shards):
+    """Identical violation multiset on every canonical anomaly history."""
+    history = ANOMALY_CATALOG[name].build()
+    txns = list(history.transactions)
+    assert sharded_verdicts(txns, n_shards=n_shards) == aion_baseline(txns)
+
+
+@pytest.mark.parametrize("n_shards", [1, 2, 4])
+def test_paper_fig2_matches_aion(paper_fig2_history, n_shards):
+    txns = list(paper_fig2_history.transactions)
+    assert sharded_verdicts(txns, n_shards=n_shards) == aion_baseline(txns)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    shuffle_seed=st.integers(0, 10_000),
+    n_shards=st.sampled_from([1, 2, 4]),
+)
+def test_randomized_workload_matches_aion(seed, shuffle_seed, n_shards):
+    """Clean generator histories under arbitrary session-respecting orders."""
+    history = small_history(seed)
+    arrival = session_respecting_shuffle(history, Random(shuffle_seed))
+    assert sharded_verdicts(arrival, n_shards=n_shards) == aion_baseline(arrival)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    faults=st.integers(1, 8),
+    n_shards=st.sampled_from([2, 4]),
+    batch_size=st.sampled_from([1, 7, 64]),
+)
+def test_faulted_batched_matches_aion(seed, faults, n_shards, batch_size):
+    """Fault-injected histories, ingested in batches of several sizes."""
+    history = small_history(seed, faults=faults)
+    arrival = session_respecting_shuffle(history, Random(seed))
+    got = sharded_verdicts(arrival, n_shards=n_shards, batch_size=batch_size)
+    assert got == aion_baseline(arrival)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_shards=st.sampled_from([2, 4]),
+    gc_every=st.sampled_from([5, 20]),
+)
+def test_gc_matches_aion(seed, n_shards, gc_every):
+    """Per-shard eviction + reload-on-demand preserves verdicts."""
+    history = small_history(seed)
+    arrival = session_respecting_shuffle(history, Random(seed))
+    got = sharded_verdicts(
+        arrival, n_shards=n_shards, batch_size=8, gc_every=gc_every
+    )
+    assert got == aion_baseline(arrival)
+
+
+def test_unoptimized_recheck_matches_aion():
+    """The ablation path (full re-evaluation per write) stays equivalent."""
+    history = small_history(321, faults=4)
+    arrival = session_respecting_shuffle(history, Random(321))
+    aion = Aion(AionConfig(timeout=float("inf"), optimized_recheck=False), clock=lambda: 0.0)
+    for txn in arrival:
+        aion.receive(txn)
+    base = normalize_violations(aion.finalize())
+    aion.close()
+    sharded = ShardedAion(
+        AionConfig(timeout=float("inf"), optimized_recheck=False),
+        n_shards=3,
+        clock=lambda: 0.0,
+    )
+    for txn in arrival:
+        sharded.receive(txn)
+    got = normalize_violations(sharded.finalize())
+    sharded.close()
+    assert got == base
+
+
+def test_process_mode_matches_aion():
+    """Worker-process shards produce identical verdicts."""
+    history = small_history(99, n=150, faults=5)
+    arrival = session_respecting_shuffle(history, Random(99))
+    got = sharded_verdicts(arrival, n_shards=2, batch_size=25, executor="process")
+    assert got == aion_baseline(arrival)
+
+
+def test_matches_chronos_end_to_end(si_history):
+    """On a clean engine history the sharded checker agrees with Chronos."""
+    txns = si_history.by_commit_ts()
+    offline = normalize_violations(Chronos().check(si_history))
+    assert sharded_verdicts(list(txns), n_shards=4, batch_size=100) == offline
+
+
+def test_receive_many_equals_receive_loop_on_aion():
+    """Aion's own batched entry point matches its per-transaction loop."""
+    history = small_history(55, faults=3)
+    arrival = session_respecting_shuffle(history, Random(55))
+    base = aion_baseline(arrival)
+    batched = Aion(AionConfig(timeout=float("inf")), clock=lambda: 0.0)
+    for offset in range(0, len(arrival), 32):
+        batched.receive_many(arrival[offset : offset + 32])
+    got = normalize_violations(batched.finalize())
+    batched.close()
+    assert got == base
+
+
+class TestBatchedRunner:
+    def _schedule(self, history):
+        collector = HistoryCollector(
+            batch_size=100, arrival_tps=50_000, delay_model=NormalDelay(20, 5), seed=9
+        )
+        return collector.schedule(history)
+
+    def test_run_capacity_batched_matches_per_txn(self, si_history):
+        schedule = self._schedule(si_history)
+
+        clock = SimClock()
+        per_txn = Aion(AionConfig(timeout=float("inf")), clock=clock)
+        base_report = OnlineRunner(per_txn, clock).run_capacity(schedule)
+        base = normalize_violations(base_report.result)
+        per_txn.close()
+
+        clock = SimClock()
+        sharded = ShardedAion(AionConfig(timeout=float("inf")), n_shards=4, clock=clock)
+        report = OnlineRunner(sharded, clock).run_capacity_batched(
+            schedule, batch_size=250
+        )
+        got = normalize_violations(report.result)
+        sharded.close()
+
+        assert got == base
+        assert report.n_processed == len(schedule)
+        assert report.throughput.total == len(schedule)
+
+    def test_batched_runner_with_gc(self, si_history):
+        from repro.online.runner import GcPolicy
+
+        schedule = self._schedule(si_history)
+        clock = SimClock()
+        sharded = ShardedAion(AionConfig(timeout=float("inf")), n_shards=2, clock=clock)
+        report = OnlineRunner(
+            sharded, clock, gc_policy=GcPolicy.CHECKING_GC, gc_threshold=400
+        ).run_capacity_batched(schedule, batch_size=100)
+        assert report.n_gc_cycles >= 1
+        assert report.result.is_valid
+        sharded.close()
+
+    def test_rejects_bad_batch_size(self, si_history):
+        clock = SimClock()
+        sharded = ShardedAion(clock=clock, n_shards=2)
+        with pytest.raises(ValueError):
+            OnlineRunner(sharded, clock).run_capacity_batched(
+                self._schedule(si_history), batch_size=0
+            )
+        sharded.close()
+
+
+class TestCoordinatorSurface:
+    def test_estimated_bytes_grows(self):
+        history = small_history(11)
+        sharded = ShardedAion(AionConfig(timeout=float("inf")), n_shards=2, clock=lambda: 0.0)
+        empty = sharded.estimated_bytes()
+        sharded.receive_many(list(history.by_commit_ts()))
+        assert sharded.estimated_bytes() > empty
+        assert sharded.resident_txn_count == len(history)
+        sharded.close()
+
+    def test_estimated_bytes_process_mode(self):
+        history = small_history(12, n=60)
+        sharded = ShardedAion(
+            AionConfig(timeout=float("inf")), n_shards=2, clock=lambda: 0.0,
+            executor="process",
+        )
+        sharded.receive_many(list(history.by_commit_ts()))
+        assert sharded.estimated_bytes() > 0
+        sharded.close()
+
+    def test_gc_report_counts(self):
+        history = small_history(13)
+        sharded = ShardedAion(AionConfig(timeout=float("inf")), n_shards=4, clock=lambda: 0.0)
+        sharded.receive_many(list(history.by_commit_ts()))
+        report = sharded.collect_below(None)
+        assert report.evicted_txns == len(history)
+        assert sharded.resident_txn_count == 0
+        assert sharded.spill_store is not None
+        sharded.close()
+
+    def test_empty_gc_echoes_requested_ts(self):
+        sharded = ShardedAion(n_shards=2, clock=lambda: 0.0)
+        report = sharded.collect_below(123)
+        assert report.requested_ts == 123
+        assert report.effective_ts == 123
+        assert report.evicted_txns == 0
+        report = sharded.collect_below(None)
+        assert report.effective_ts == -1
+        sharded.close()
+
+    def test_append_rejected(self):
+        from repro.histories.builder import HistoryBuilder
+        from repro.histories.ops import append
+
+        b = HistoryBuilder(with_init=False)
+        txn = b.txn(sid=1, ops=[append("l", 1)])
+        sharded = ShardedAion(n_shards=2, clock=lambda: 0.0)
+        with pytest.raises(ValueError, match="offline"):
+            sharded.receive(txn)
+        sharded.close()
+
+
+def test_receive_many_rejects_appends_before_any_state_change():
+    """A rejected append mid-batch must not leave earlier batch members
+    tracked but timer-less: the whole batch is validated up front."""
+    from repro.histories.builder import HistoryBuilder
+    from repro.histories.ops import append, read, write
+
+    b = HistoryBuilder(keys=["x", "l"])
+    good = b.txn(sid=1, ops=[write("x", 1)])
+    bad = b.txn(sid=2, ops=[append("l", 1)])
+    b.build()
+    for checker in (
+        Aion(AionConfig(timeout=float("inf")), clock=lambda: 0.0),
+        ShardedAion(AionConfig(timeout=float("inf")), n_shards=2, clock=lambda: 0.0),
+    ):
+        with pytest.raises(ValueError, match="offline"):
+            checker.receive_many([good, bad])
+        assert checker.processed == 0
+        assert checker.resident_txn_count == 0
+        checker.close()

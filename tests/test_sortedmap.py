@@ -230,3 +230,43 @@ class SortedMapMachine(RuleBasedStateMachine):
 
 TestSortedMapStateful = SortedMapMachine.TestCase
 TestSortedMapStateful.settings = settings(max_examples=30, stateful_step_count=40, deadline=None)
+
+
+class TestSetAndHigher:
+    def test_insert_returns_successor(self):
+        m = SortedMap()
+        m[10] = "a"
+        m[30] = "c"
+        assert m.set_and_higher(20, "b") == (False, (30, "c"))
+        assert m[20] == "b"
+        assert len(m) == 3
+
+    def test_overwrite_flags_presence(self):
+        m = SortedMap()
+        m[10] = "a"
+        m[20] = "b"
+        was_present, nxt = m.set_and_higher(10, "a2")
+        assert was_present and nxt == (20, "b")
+        assert m[10] == "a2"
+        assert len(m) == 2
+
+    def test_no_successor(self):
+        m = SortedMap()
+        assert m.set_and_higher(5, "x") == (False, None)
+        assert m.set_and_higher(9, "y") == (False, None)
+        assert list(m.items()) == [(5, "x"), (9, "y")]
+
+    def test_matches_naive_combination(self):
+        from random import Random
+
+        rng = Random(42)
+        fused, naive = SortedMap(), SortedMap()
+        for _ in range(300):
+            key = rng.randrange(0, 120)
+            expected_present = key in naive
+            expected_next = naive.higher_item(key)
+            naive[key] = key
+            got_present, got_next = fused.set_and_higher(key, key)
+            assert got_next == expected_next
+            assert got_present == expected_present
+        assert list(fused.items()) == list(naive.items())

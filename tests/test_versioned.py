@@ -120,10 +120,29 @@ class TestExtReadIndex:
     def test_remove_and_missing_remove(self):
         idx = ExtReadIndex()
         idx.add("x", 10, tid=1, actual="a")
-        idx.remove("x", 10)
+        idx.remove("x", 10, tid=1)
         assert len(idx) == 0
-        idx.remove("x", 10)  # idempotent
-        idx.remove("zzz", 1)
+        idx.remove("x", 10, tid=1)  # idempotent
+        idx.remove("zzz", 1, tid=1)
+
+    def test_shared_snapshot_keeps_all_readers(self):
+        """Two readers at one snapshot point must both stay indexed."""
+        idx = ExtReadIndex()
+        idx.add("x", 10, tid=1, actual="a")
+        idx.add("x", 10, tid=2, actual="b")
+        assert len(idx) == 2
+        hits = sorted((t, a) for _, t, a in idx.affected_by("x", 5, None))
+        assert hits == [(1, "a"), (2, "b")]
+
+    def test_remove_one_shared_reader_spares_the_other(self):
+        idx = ExtReadIndex()
+        idx.add("x", 10, tid=1, actual="a")
+        idx.add("x", 10, tid=2, actual="b")
+        idx.remove("x", 10, tid=1)
+        assert len(idx) == 1
+        assert [t for _, t, _ in idx.affected_by("x", 5, None)] == [2]
+        idx.remove("x", 10, tid=2)
+        assert len(idx) == 0
 
     def test_evict_merge_roundtrip(self):
         idx = ExtReadIndex()
@@ -134,3 +153,26 @@ class TestExtReadIndex:
         assert len(idx) == 1
         idx.merge(segment)
         assert len(idx) == 2
+
+    def test_evict_flattens_shared_snapshots(self):
+        idx = ExtReadIndex()
+        idx.add("x", 10, tid=1, actual="a")
+        idx.add("x", 10, tid=2, actual="b")
+        segment = idx.evict_below(20)
+        assert segment == {"x": [(10, 1, "a"), (10, 2, "b")]}
+        assert len(idx) == 0
+        idx.merge(segment)
+        assert len(idx) == 2
+
+
+class TestInsertAndNext:
+    def test_matches_next_after_then_insert(self):
+        f = VersionedFrontier()
+        f.insert("x", 20, "b", 2)
+        assert f.insert_and_next("x", 10, "a", 1) == (20, "b", 2)
+        assert f.insert_and_next("x", 30, "c", 3) is None
+        assert len(f) == 3
+        # Overwrite does not inflate the version count.
+        assert f.insert_and_next("x", 10, "a2", 1) == (20, "b", 2)
+        assert len(f) == 3
+        assert f.latest_at("x", 15) == (10, "a2", 1)
