@@ -8,7 +8,11 @@ Commands
                 online (Aion, with a simulated asynchronous collector);
 ``inject``    — corrupt a history file with labelled faults (for testing
                 checkers against known-bad inputs);
-``stats``     — print a history file's descriptive statistics.
+``stats``     — print a history file's descriptive statistics;
+``serve``     — run the online checker as a long-lived daemon speaking
+                the ndjson wire protocol (see :mod:`repro.service`);
+``replay``    — stream a history file, WAL capture, anomaly fixture, or
+                generated workload into a running daemon.
 
 Examples
 --------
@@ -20,6 +24,10 @@ Examples
     python -m repro check history.jsonl --online --shards 4 --batch-size 500
     python -m repro inject history.jsonl --faults 5 --out bad.jsonl
     python -m repro check bad.jsonl
+    python -m repro serve --port 7401 --shards 4
+    python -m repro replay --history history.jsonl --port 7401
+    python -m repro replay --anomaly dirty-read --port 7401 \\
+        --expect violation --shutdown
 """
 
 from __future__ import annotations
@@ -110,6 +118,60 @@ def _build_parser() -> argparse.ArgumentParser:
     stats = commands.add_parser("stats", help="describe a history file")
     stats.add_argument("history")
     stats.set_defaults(handler=_cmd_stats)
+
+    serve = commands.add_parser("serve", help="run the checker daemon")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7401,
+                       help="TCP port to listen on (0 = ephemeral)")
+    serve.add_argument("--no-tcp", action="store_true",
+                       help="disable the TCP listener (requires --unix)")
+    serve.add_argument("--unix", default=None, metavar="PATH",
+                       help="also listen on a unix socket at PATH")
+    serve.add_argument("--level", default="si", choices=["si", "ser"])
+    serve.add_argument("--shards", type=int, default=1,
+                       help="shard the SI checker's state across N shards")
+    serve.add_argument("--executor", default="serial", choices=["serial", "process"],
+                       help="how sharded batches execute (process = worker pool)")
+    serve.add_argument("--timeout", type=float, default=5.0,
+                       help="EXT re-checking timeout in seconds ('inf' disables)")
+    serve.add_argument("--queue-capacity", type=int, default=10_000,
+                       help="ingest queue bound (transactions); full = backpressure")
+    serve.add_argument("--batch-size", type=int, default=500,
+                       help="max transactions per receive_many drain cycle")
+    serve.add_argument("--gc-threshold", type=int, default=0,
+                       help="collect when this many transactions are resident (0 = off)")
+    serve.add_argument("--gc-keep-recent", type=int, default=None,
+                       help="residents spared per GC cycle (default: half the threshold)")
+    serve.set_defaults(handler=_cmd_serve)
+
+    replay = commands.add_parser("replay", help="stream a history into a daemon")
+    source = replay.add_mutually_exclusive_group(required=True)
+    source.add_argument("--history", metavar="FILE", help="JSONL history file")
+    source.add_argument("--wal", metavar="FILE", help="textual WAL capture")
+    source.add_argument("--anomaly", metavar="NAME",
+                        help="a fixture from histories/anomalies.py (e.g. dirty-read)")
+    source.add_argument("--generate", type=int, metavar="N",
+                        help="generate an N-transaction default workload")
+    replay.add_argument("--host", default="127.0.0.1")
+    replay.add_argument("--port", type=int, default=7401)
+    replay.add_argument("--unix", default=None, metavar="PATH",
+                        help="connect via unix socket instead of TCP")
+    replay.add_argument("--batch-size", type=int, default=500)
+    replay.add_argument("--rate", type=float, default=None, metavar="TPS",
+                        help="pace submission at this offered load (default: flat out)")
+    replay.add_argument("--no-ack", action="store_true",
+                        help="fire-and-forget submission (TCP backpressure only)")
+    replay.add_argument("--seed", type=int, default=2025,
+                        help="workload seed for --generate")
+    replay.add_argument("--connect-timeout", type=float, default=10.0,
+                        help="seconds to keep retrying the initial connection")
+    replay.add_argument("--shutdown", action="store_true",
+                        help="shut the daemon down after the replay (graceful drain)")
+    replay.add_argument("--expect", default="any",
+                        choices=["any", "valid", "violation"],
+                        help="exit 0 only if the final verdict matches")
+    replay.add_argument("--max-report", type=int, default=10)
+    replay.set_defaults(handler=_cmd_replay)
 
     return parser
 
@@ -223,6 +285,133 @@ def _cmd_inject(args: argparse.Namespace) -> int:
     print(f"injected {len(labels)} faults into {args.out}:")
     for label in labels:
         print(f"  {label.describe()}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.service import CheckerService, ServiceConfig
+
+    if args.no_tcp and args.unix is None:
+        print("--no-tcp requires --unix", file=sys.stderr)
+        return 2
+    config = ServiceConfig(
+        host=args.host,
+        port=None if args.no_tcp else args.port,
+        unix_path=args.unix,
+        level=args.level,
+        n_shards=args.shards,
+        shard_executor=args.executor,
+        timeout=args.timeout,
+        queue_capacity=args.queue_capacity,
+        batch_size=args.batch_size,
+        gc_threshold=args.gc_threshold,
+        gc_keep_recent=args.gc_keep_recent,
+    )
+    try:
+        config.validate()
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    async def _serve() -> CheckerService:
+        service = CheckerService(config)
+        await service.start()
+        if service.tcp_address is not None:
+            host, port = service.tcp_address
+            print(f"listening on {host}:{port} ({config.checker_kind})", flush=True)
+        if service.unix_path is not None:
+            print(f"listening on unix:{service.unix_path} ({config.checker_kind})", flush=True)
+        loop = asyncio.get_running_loop()
+
+        def _graceful() -> None:
+            loop.create_task(service.shutdown())
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, _graceful)
+            except NotImplementedError:  # pragma: no cover - non-unix hosts
+                pass
+        await service.wait_closed()
+        return service
+
+    service = asyncio.run(_serve())
+    # Cheap mode: the summary never prints estimated_bytes, and the
+    # deep-sizeof walk over a large resident set would delay exit.
+    stats = service.stats(include_bytes=False)
+    result = service.final_result
+    print(f"served {stats['processed']} transactions "
+          f"({stats['throughput']['sustained_tps']:,.0f} sustained TPS)")
+    if result is not None:
+        print(result.summary())
+    # A clean drain-then-finalize exit is success regardless of verdict;
+    # the verdict belongs to the replaying client (--expect).
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.db.cdc import iter_wal_file
+    from repro.histories.anomalies import ANOMALY_CATALOG
+    from repro.service import CheckerClient, replay_transactions, transactions_in_commit_order
+    from repro.workloads.generator import generate_default_history
+    from repro.workloads.spec import WorkloadSpec
+
+    if args.history is not None:
+        source = load_history(args.history)
+    elif args.wal is not None:
+        source = list(iter_wal_file(args.wal))
+    elif args.anomaly is not None:
+        spec = ANOMALY_CATALOG.get(args.anomaly)
+        if spec is None:
+            names = ", ".join(sorted(ANOMALY_CATALOG))
+            print(f"unknown anomaly {args.anomaly!r}; choose from: {names}", file=sys.stderr)
+            return 2
+        source = spec.build()
+    else:
+        source = generate_default_history(
+            WorkloadSpec(
+                n_sessions=12,
+                n_transactions=args.generate,
+                ops_per_txn=8,
+                n_keys=200,
+                seed=args.seed,
+            )
+        )
+    txns = transactions_in_commit_order(source)
+
+    client = CheckerClient(args.host, args.port, unix_path=args.unix)
+    try:
+        client.connect(retry_for=args.connect_timeout)
+    except OSError as exc:
+        print(f"cannot reach the daemon: {exc}", file=sys.stderr)
+        return 2
+    with client:
+        report = replay_transactions(
+            client,
+            txns,
+            batch_size=args.batch_size,
+            arrival_tps=args.rate,
+            ack=not args.no_ack,
+            finalize=not args.shutdown,
+        )
+        result = client.shutdown() if args.shutdown else report.result
+
+    print(f"replayed {report.sent} transactions in {report.batches} batches "
+          f"({report.wire_tps:,.0f} end-to-end TPS)")
+    print(f"daemon processed {report.stats.get('processed', '?')} total, "
+          f"{report.stats.get('resident_txns', '?')} resident")
+    assert result is not None
+    print(result.summary())
+    for violation in result.violations[: args.max_report]:
+        print(f"  {violation.describe()}")
+    if len(result.violations) > args.max_report:
+        print(f"  ... and {len(result.violations) - args.max_report} more")
+    if args.expect == "valid":
+        return 0 if result.is_valid else 1
+    if args.expect == "violation":
+        return 0 if not result.is_valid else 1
     return 0
 
 

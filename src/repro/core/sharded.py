@@ -41,6 +41,8 @@ where the commands run changes.
 from __future__ import annotations
 
 import multiprocessing
+import signal
+import threading
 import time
 import zlib
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -161,6 +163,14 @@ class _ShardCore:
 
 def _shard_worker(conn) -> None:
     """Process-mode loop: own one shard core, serve command batches."""
+    # A terminal Ctrl+C delivers SIGINT to the whole foreground process
+    # group, workers included.  The parent handles it (e.g. `repro
+    # serve` drains gracefully); a worker dying mid-drain would turn
+    # that graceful stop into dropped batches and a partial verdict.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
     core = _ShardCore()
     try:
         while True:
@@ -220,6 +230,13 @@ class ShardedAion:
         self._spill: Optional[SpillStore] = None
         self._collected_upto: Optional[int] = None
         self.processed = 0
+        #: Serializes checker access when ingestion happens off-thread
+        #: (the service daemon drains batches on a worker thread while
+        #: its event loop reads stats): hold it around any receive /
+        #: poll / GC / finalize sequence that must not interleave.  The
+        #: checker itself never blocks on it — single-threaded use pays
+        #: nothing.
+        self.ingest_lock = threading.Lock()
         #: remove_read commands owed to shards, flushed with the next batch
         #: (re-evaluating a finalized pair is a tracker no-op, so deferred
         #: removal cannot change verdicts — it only bounds index growth).
@@ -273,6 +290,13 @@ class ShardedAion:
         plan = self._plan_batch(txns, shard_cmds)
         shard_results = self._execute(shard_cmds)
         self._merge(plan, shard_results, now)
+
+    def receive_many_threadsafe(self, txns: List[Transaction]) -> None:
+        """Batch ingestion under :attr:`ingest_lock` — the entry point
+        for multi-threaded frontends (one batch at a time wins the lock;
+        shard-level parallelism still applies inside the batch)."""
+        with self.ingest_lock:
+            self.receive_many(txns)
 
     def _plan_batch(
         self, txns: List[Transaction], shard_cmds: List[List[Tuple]]

@@ -16,13 +16,15 @@ measured in Fig 8/9/24 parses exactly this kind of file.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Tuple
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, List, Tuple, Union
 
 from repro.histories.model import History, Operation, Transaction
 from repro.histories.serialization import txn_from_dict, txn_to_dict
 
-__all__ = ["CdcRecord", "ChangeLog", "parse_wal"]
+__all__ = ["CdcRecord", "ChangeLog", "parse_wal", "iter_wal_file"]
 
 
 @dataclass(frozen=True)
@@ -75,22 +77,45 @@ class ChangeLog:
 
     def wal_lines(self) -> Iterable[str]:
         """Render the log as text lines, one committed transaction each."""
-        import json
-
         for record in self._records:
             yield "COMMIT " + json.dumps(
                 txn_to_dict(record.to_transaction()), separators=(",", ":")
             )
 
+    def save_wal(self, path: Union[str, Path]) -> int:
+        """Write the textual WAL to ``path``; returns the line count.
 
-def parse_wal(lines: Iterable[str]) -> History:
-    """Parse the textual WAL format back into a history."""
-    import json
+        The file is what a real deployment's log shipper would hand the
+        checker — ``python -m repro replay --wal <file>`` streams it into
+        a running daemon via :func:`iter_wal_file`.
+        """
+        path = Path(path)
+        count = 0
+        with path.open("w", encoding="utf-8") as handle:
+            for line in self.wal_lines():
+                handle.write(line)
+                handle.write("\n")
+                count += 1
+        return count
 
-    txns: List[Transaction] = []
+
+def _iter_commit_lines(lines: Iterable[str]) -> Iterator[Transaction]:
+    """Decode ``COMMIT`` lines; skip everything else (a real WAL
+    interleaves other record types the checker ignores)."""
     for line in lines:
         line = line.strip()
         if not line or not line.startswith("COMMIT "):
             continue
-        txns.append(txn_from_dict(json.loads(line[len("COMMIT "):])))
-    return History(txns)
+        yield txn_from_dict(json.loads(line[len("COMMIT "):]))
+
+
+def parse_wal(lines: Iterable[str]) -> History:
+    """Parse the textual WAL format back into a history."""
+    return History(_iter_commit_lines(lines))
+
+
+def iter_wal_file(path: Union[str, Path]) -> Iterator[Transaction]:
+    """Stream committed transactions from a WAL file written by
+    :meth:`ChangeLog.save_wal`, without materializing the history."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        yield from _iter_commit_lines(handle)

@@ -102,21 +102,44 @@ class HistoryCollector:
         """Schedule an entire history (delivered in commit order)."""
         return self.schedule_transactions(history.by_commit_ts(), start_time=start_time)
 
+    def iter_batches(
+        self,
+        transactions: Iterable[Transaction],
+        *,
+        start_time: float = 0.0,
+    ) -> Iterator[Tuple[float, List[Transaction]]]:
+        """Yield ``(departure_time, batch)`` pairs at the batch cadence.
+
+        The streaming unit of the collector pipeline, before any
+        per-transaction delay: batch *k* departs at
+        ``start_time + k * batch_size / arrival_tps``.  The wire
+        replayer (:mod:`repro.service.replay`) paces real submissions
+        with exactly these departures; :meth:`schedule_transactions`
+        layers the delay model on top to build simulated arrivals.
+        """
+        batch_interval = self.batch_size / self.arrival_tps
+        batch: List[Transaction] = []
+        index = 0
+        for txn in transactions:
+            batch.append(txn)
+            if len(batch) >= self.batch_size:
+                yield (start_time + index * batch_interval, batch)
+                batch = []
+                index += 1
+        if batch:
+            yield (start_time + index * batch_interval, batch)
+
     def schedule_transactions(
         self,
         transactions: Iterable[Transaction],
         *,
         start_time: float = 0.0,
     ) -> ArrivalSchedule:
-        batch_interval = self.batch_size / self.arrival_tps
         last_in_session: Dict[int, float] = {}
         arrivals: List[Tuple[float, Transaction]] = []
-        batch: List[Transaction] = []
-        batch_index = 0
 
-        def flush(batch_txns: List[Transaction], index: int) -> None:
-            depart = start_time + index * batch_interval
-            for position, txn in enumerate(batch_txns):
+        for depart, batch in self.iter_batches(transactions, start_time=start_time):
+            for position, txn in enumerate(batch):
                 # The nano-scale spacing keeps a delay-free batch in exact
                 # commit order once sorted; it is negligible against any
                 # real delay model.
@@ -130,15 +153,6 @@ class HistoryCollector:
                     arrival = floor + _SESSION_EPSILON
                 last_in_session[txn.sid] = arrival
                 arrivals.append((arrival, txn))
-
-        for txn in transactions:
-            batch.append(txn)
-            if len(batch) >= self.batch_size:
-                flush(batch, batch_index)
-                batch = []
-                batch_index += 1
-        if batch:
-            flush(batch, batch_index)
 
         # Stable sort keeps the session-order floors meaningful: equal
         # times preserve insertion (commit) order.

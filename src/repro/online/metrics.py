@@ -8,8 +8,9 @@ a configurable cadence — Fig 10/16 are these samples over time.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
 __all__ = ["ThroughputSeries", "MemorySampler"]
 
@@ -25,35 +26,70 @@ class ThroughputSeries:
         self.total = 0
 
     def record(self, timestamp: float, count: int = 1) -> None:
-        bucket = int(timestamp / self.bucket_seconds)
+        # Floor division, not int(): truncation toward zero would fold
+        # every timestamp in (-1, 1) bucket widths into bucket 0, so
+        # negative/straddling virtual times would share a bucket with
+        # the first positive one.
+        bucket = math.floor(timestamp / self.bucket_seconds)
         self._buckets[bucket] = self._buckets.get(bucket, 0) + count
         self.total += count
 
     def series(self) -> List[Tuple[float, float]]:
-        """(bucket start time, TPS) pairs, gaps filled with zero."""
+        """(bucket start time, TPS) pairs, gaps filled with zero.
+
+        The series always extends down to bucket 0 (the virtual start of
+        the run), and further when negative timestamps were recorded.
+        """
         if not self._buckets:
             return []
+        first = min(0, min(self._buckets))
         last = max(self._buckets)
         return [
             (
                 bucket * self.bucket_seconds,
                 self._buckets.get(bucket, 0) / self.bucket_seconds,
             )
-            for bucket in range(0, last + 1)
+            for bucket in range(first, last + 1)
         ]
 
+    def snapshot(self) -> Dict[str, Any]:
+        """Counters in one dict — the service's ``STATS`` payload."""
+        return {
+            "total": self.total,
+            "buckets": len(self._buckets),
+            "bucket_seconds": self.bucket_seconds,
+            "sustained_tps": round(self.sustained_tps(), 3),
+            "peak_tps": round(self.peak_tps(), 3),
+        }
+
     def sustained_tps(self, *, skip_warmup_buckets: int = 1) -> float:
-        """Mean TPS after a warm-up prefix (the paper's 'sustained')."""
-        points = self.series()[skip_warmup_buckets:]
-        if not points:
-            points = self.series()
-        if not points:
+        """Mean TPS after a warm-up prefix (the paper's 'sustained').
+
+        Computed from the sparse bucket map, not the gap-filled
+        :meth:`series` — a stats poller on a long-lived daemon must not
+        pay O(uptime) per sample.
+        """
+        if not self._buckets:
             return 0.0
-        return sum(tps for _, tps in points) / len(points)
+        first = min(0, min(self._buckets))
+        last = max(self._buckets)
+        n_points = last - first + 1
+        if n_points > skip_warmup_buckets:
+            skipped = sum(
+                self._buckets.get(bucket, 0)
+                for bucket in range(first, first + skip_warmup_buckets)
+            )
+            count, points = self.total - skipped, n_points - skip_warmup_buckets
+        else:  # warm-up covers everything: fall back to the full series
+            count, points = self.total, n_points
+        return (count / self.bucket_seconds) / points
 
     def peak_tps(self) -> float:
-        points = self.series()
-        return max((tps for _, tps in points), default=0.0)
+        if not self._buckets:
+            return 0.0
+        # Gap buckets contribute zero; recorded counts are non-negative,
+        # so the sparse maximum is the series maximum.
+        return max(self._buckets.values()) / self.bucket_seconds
 
 
 @dataclass

@@ -1,0 +1,32 @@
+"""repro.service — the online checker as a network daemon.
+
+The subsystem that closes the gap between the in-process reproduction
+and the paper's deployment story: an asyncio daemon
+(:class:`~repro.service.daemon.CheckerService`) wraps
+Aion/Aion-SER/ShardedAion behind an ndjson-over-TCP (or unix-socket)
+wire protocol (:mod:`repro.service.protocol`), a blocking client library
+(:class:`~repro.service.client.CheckerClient`) feeds it from ordinary
+synchronous producers, and :mod:`repro.service.replay` streams WAL
+captures, history files, anomaly fixtures, or generated workloads into a
+running daemon.  ``python -m repro serve`` / ``python -m repro replay``
+expose the pair on the command line.
+"""
+
+from repro.service.client import CheckerClient, ServiceError
+from repro.service.config import ServiceConfig
+from repro.service.daemon import CheckerService, ServiceThread
+from repro.service.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.service.replay import ReplayReport, replay_transactions, transactions_in_commit_order
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "CheckerClient",
+    "CheckerService",
+    "ProtocolError",
+    "ReplayReport",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceThread",
+    "replay_transactions",
+    "transactions_in_commit_order",
+]

@@ -1,0 +1,321 @@
+"""Blocking client for the checker daemon.
+
+:class:`CheckerClient` speaks the ndjson protocol of
+:mod:`repro.service.protocol` over TCP or a unix socket using nothing
+but the standard library — the library a workload driver, a CDC tailer,
+or a test harness embeds to stream committed transactions into a
+running daemon and read verdicts back.
+
+The client is synchronous by design (producers in this repo are
+synchronous); asynchrony lives on the server side.  Pushed ``violation``
+messages can arrive interleaved with request replies on a subscribed
+connection, so every receive path funnels through :meth:`_read_message`,
+which stashes pushes in :attr:`pushed` until :meth:`take_violations` /
+:meth:`wait_for_violations` collects them.
+
+One client instance belongs to one thread; concurrent producers open
+one client each (connections are cheap, and per-connection ordering is
+what carries session order over the wire).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.core.violations import CheckResult, Violation
+from repro.histories.model import Transaction
+from repro.histories.serialization import txn_to_dict
+from repro.service.protocol import (
+    ProtocolError,
+    decode_line,
+    encode_message,
+    result_from_dict,
+    violation_from_dict,
+)
+
+__all__ = ["CheckerClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """The daemon rejected a request (an ``error`` reply)."""
+
+
+class CheckerClient:
+    """One connection to a running checker daemon.
+
+    Parameters
+    ----------
+    host, port:
+        TCP endpoint of the daemon (ignored when ``unix_path`` is given).
+    unix_path:
+        Path of the daemon's unix socket.
+    timeout:
+        Socket timeout (seconds) applied to every blocking operation.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        unix_path: Optional[Union[str, Path]] = None,
+        timeout: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.unix_path = str(unix_path) if unix_path is not None else None
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._buffer = b""
+        self._seq = 0
+        self.welcome: Optional[Dict[str, Any]] = None
+        self.subscribed = False
+        #: Violations pushed by the daemon, in arrival order.
+        self.pushed: List[Violation] = []
+        #: Final result captured when the daemon says goodbye mid-read.
+        self.final_result: Optional[CheckResult] = None
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+
+    def connect(self, *, retry_for: float = 0.0) -> Dict[str, Any]:
+        """Connect and read the ``welcome``; returns the welcome message.
+
+        ``retry_for`` keeps retrying a refused connection for that many
+        seconds — the normal way to follow a daemon you just booted.
+        """
+        deadline = time.monotonic() + retry_for
+        while True:
+            try:
+                self._open_socket()
+                break
+            except OSError:
+                self._teardown()
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+        welcome = self._read_message()
+        if welcome.get("type") != "welcome":
+            raise ProtocolError(f"expected welcome, got {welcome.get('type')!r}")
+        self.welcome = welcome
+        return welcome
+
+    def _open_socket(self) -> None:
+        if self.unix_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.unix_path)
+        else:
+            sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._buffer = b""
+
+    def close(self) -> None:
+        self._teardown()
+
+    def _teardown(self) -> None:
+        self._buffer = b""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "CheckerClient":
+        if self._sock is None:
+            self.connect()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+
+    def submit(self, txn: Transaction, *, ack: bool = True) -> None:
+        """Submit one committed transaction."""
+        self.submit_many([txn], ack=ack)
+
+    def submit_many(self, txns: List[Transaction], *, ack: bool = True) -> None:
+        """Submit a batch of committed transactions, in order.
+
+        With ``ack=True`` (default) the call returns once the daemon
+        admitted the whole batch to its ingest queue; ``ack=False``
+        streams fire-and-forget — fastest, with admission control left
+        to TCP backpressure.
+        """
+        message: Dict[str, Any] = {"type": "submit", "txns": [txn_to_dict(t) for t in txns]}
+        if ack:
+            reply = self._request(message, expect="ack")
+            if reply.get("enqueued") != len(txns):
+                raise ServiceError(
+                    f"daemon enqueued {reply.get('enqueued')} of {len(txns)} transactions"
+                )
+        else:
+            self._send(message)
+
+    def subscribe(self, *, replay: bool = False) -> None:
+        """Start receiving live violation pushes on this connection."""
+        self._request({"type": "subscribe", "replay": replay}, expect="subscribed")
+        self.subscribed = True
+
+    def ping(self) -> None:
+        self._request({"type": "ping"}, expect="pong")
+
+    def stats(self, *, include_bytes: bool = True) -> Dict[str, Any]:
+        """Fetch the daemon's resident/throughput/GC counters.
+
+        ``include_bytes=False`` asks the daemon to skip the
+        ``estimated_bytes`` deep-sizeof walk — the cheap mode for
+        polling a daemon with a large resident set.
+        """
+        return self._request({"type": "stats", "bytes": include_bytes}, expect="stats")["stats"]
+
+    def drain(self, *, wait_timeout: Optional[float] = None) -> int:
+        """Block until everything submitted so far is checked.
+
+        Unlike plain requests, draining waits for the checker to catch
+        up — unbounded by default rather than capped at the socket
+        timeout; pass ``wait_timeout`` to bound the wait.
+        """
+        with self._deadline(wait_timeout):
+            return self._request({"type": "drain"}, expect="drained")["processed"]
+
+    def finalize(self, *, wait_timeout: Optional[float] = None) -> CheckResult:
+        """Drain, force-finalize pending EXT verdicts, return the result.
+
+        Waits for the daemon to catch up (see :meth:`drain`).
+        """
+        with self._deadline(wait_timeout):
+            reply = self._request({"type": "finalize"}, expect="result")
+        return result_from_dict(reply)
+
+    def shutdown(self, *, wait_timeout: Optional[float] = None) -> CheckResult:
+        """Ask the daemon to drain, finalize, and exit; returns the result.
+
+        Waits for the daemon to catch up (see :meth:`drain`).
+        """
+        with self._deadline(wait_timeout):
+            self._send({"type": "shutdown"})
+            reply = self._read_until("result")
+        self.final_result = result_from_dict(reply)
+        return self.final_result
+
+    @contextmanager
+    def _deadline(self, timeout: Optional[float]):
+        """Temporarily replace the per-operation socket timeout."""
+        assert self._sock is not None, "not connected"
+        self._sock.settimeout(timeout)
+        try:
+            yield
+        finally:
+            if self._sock is not None:
+                self._sock.settimeout(self.timeout)
+
+    # ------------------------------------------------------------------
+    # Pushed verdicts
+    # ------------------------------------------------------------------
+
+    def take_violations(self) -> List[Violation]:
+        """Drain violations already received (does not touch the socket)."""
+        taken, self.pushed = self.pushed, []
+        return taken
+
+    def wait_for_violations(self, count: int = 1, *, timeout: float = 5.0) -> List[Violation]:
+        """Block until at least ``count`` pushed violations arrived.
+
+        Returns everything received (may exceed ``count``); raises
+        :class:`TimeoutError` if the daemon stays quiet too long.
+        """
+        assert self._sock is not None, "not connected"
+        deadline = time.monotonic() + timeout
+        while len(self.pushed) < count:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"got {len(self.pushed)}/{count} violations within {timeout}s"
+                )
+            self._sock.settimeout(remaining)
+            try:
+                self._read_message()
+            except socket.timeout:
+                # recv() timed out cleanly: _buffer still holds any
+                # partial line, so framing survives and we re-check the
+                # deadline.
+                continue
+            finally:
+                self._sock.settimeout(self.timeout)
+        return self.take_violations()
+
+    # ------------------------------------------------------------------
+    # Wire plumbing
+    # ------------------------------------------------------------------
+
+    def _send(self, message: Dict[str, Any]) -> None:
+        assert self._sock is not None, "not connected"
+        self._sock.sendall(encode_message(message))
+
+    def _request(self, message: Dict[str, Any], *, expect: str) -> Dict[str, Any]:
+        self._seq += 1
+        seq = self._seq
+        message = dict(message, seq=seq)
+        self._send(message)
+        while True:
+            reply = self._read_message()
+            kind = reply.get("type")
+            if kind == "error" and reply.get("seq") in (seq, None):
+                raise ServiceError(reply.get("message", "unspecified error"))
+            if kind == expect and reply.get("seq") == seq:
+                return reply
+            # Anything else on a subscribed connection is a push already
+            # absorbed by _read_message; unsolicited replies are dropped.
+
+    def _read_until(self, kind: str) -> Dict[str, Any]:
+        while True:
+            reply = self._read_message()
+            if reply.get("type") == kind:
+                return reply
+
+    def _read_message(self) -> Dict[str, Any]:
+        """Read one message, absorbing violation pushes along the way.
+
+        Also captures any ``result`` into :attr:`final_result` — a
+        daemon-initiated shutdown broadcasts the final verdict without a
+        ``seq``, and a client blocked in an unrelated request must not
+        lose it when the socket then closes.
+        """
+        message = decode_line(self._read_line())
+        kind = message.get("type")
+        if kind == "violation":
+            self.pushed.append(violation_from_dict(message["violation"]))
+        elif kind == "result":
+            self.final_result = result_from_dict(message)
+        return message
+
+    def _read_line(self) -> bytes:
+        """Read one ``\\n``-terminated line from the connection.
+
+        A hand-rolled buffer instead of ``socket.makefile``: a timeout
+        mid-``recv`` must leave already-received bytes intact (buffered
+        file objects lose them), and pushed lines that arrived in one
+        packet must be consumable without touching the socket again.
+        """
+        assert self._sock is not None, "not connected"
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = self._buffer[: newline + 1]
+                self._buffer = self._buffer[newline + 1 :]
+                return line
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("daemon closed the connection")
+            self._buffer += chunk

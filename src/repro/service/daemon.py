@@ -1,0 +1,694 @@
+"""The asyncio checker daemon.
+
+:class:`CheckerService` turns an in-process online checker into a
+long-running network service — the continuous collector→checker loop of
+the paper's deployment story (§IV-C, §VI): producers tail a database's
+CDC/WAL stream and push committed transactions over the wire; the daemon
+checks them as they arrive and pushes verdicts back.
+
+Architecture::
+
+    clients ──ndjson──▶ per-connection reader ──▶ bounded ingest queue
+                                                        │ (backpressure)
+    subscribers ◀──violation push── drain task ◀────────┘
+                                       │  receive_many() batches,
+                                       │  under the ingest lock, in a
+                                       ▼  worker thread
+                                 Aion / AionSer / ShardedAion
+
+Three properties carry the correctness story over from the library:
+
+- **ordering** — each connection's transactions enter the queue in the
+  order the client sent them, so a producer that ships its sessions in
+  session order preserves the SESSION precondition (§III-C1) no matter
+  how connections interleave;
+- **backpressure** — the queue is bounded; when checking falls behind,
+  readers stop consuming their sockets and producers block on TCP,
+  instead of the daemon buffering unboundedly (the paper's collector
+  applies the same admission discipline in batches);
+- **serialized ingestion** — one drain task hands batches to
+  ``receive_many`` under the checker's ingest lock, so the wire adds
+  concurrency around the checker, never inside it, and verdicts are
+  identical to in-process checking (``tests/test_service.py`` proves it
+  differentially).
+
+:class:`ServiceThread` hosts a daemon on a background thread with its
+own event loop — the harness used by the blocking client's tests and the
+wire-throughput benchmark, and a one-liner for embedding the service in
+a synchronous program.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import sys
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.core.violations import CheckResult
+from repro.histories.model import Transaction
+from repro.histories.serialization import txn_from_dict
+from repro.online.metrics import ThroughputSeries
+from repro.service.config import ServiceConfig
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_line,
+    encode_message,
+    result_to_dict,
+    violation_to_dict,
+)
+
+__all__ = ["CheckerService", "ServiceThread"]
+
+#: Maximum wire-line length (a submit batch of 500 wide transactions
+#: stays well under this; the bound exists so one malformed producer
+#: cannot balloon the reader's buffer).
+_MAX_LINE_BYTES = 16 * 1024 * 1024
+
+#: A subscriber whose transport buffer exceeds this is disconnected: the
+#: drain loop never awaits a subscriber's socket, so a consumer that
+#: stops reading must be shed — not allowed to stall all checking.
+_MAX_SUBSCRIBER_BUFFER = 8 * 1024 * 1024
+
+#: Violation pushes kept for late subscribers (``subscribe`` with
+#: ``replay``).  Bounds daemon memory on a violation-heavy stream; a
+#: replay delivers the most recent window, live pushes are never lost.
+_MAX_REPLAY_BACKLOG = 10_000
+
+
+class CheckerService:
+    """One daemon instance: listeners, ingest queue, drain loop."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.config.validate()
+        self.checker = self.config.build_checker()
+        # ShardedAion exposes its own ingest lock; the single-shard
+        # checkers get one here.  Every checker touch below — ingest,
+        # poll, stats reads, GC, finalize — happens under this lock, so
+        # worker-thread ingestion and loop-thread reads never interleave.
+        self._lock: threading.Lock = getattr(self.checker, "ingest_lock", None) or threading.Lock()
+        self._queue: Optional[asyncio.Queue] = None
+        self._drain_task: Optional[asyncio.Task] = None
+        self._tick_task: Optional[asyncio.Task] = None
+        self._servers: List[asyncio.base_events.Server] = []
+        self._subscribers: Set[asyncio.StreamWriter] = set()
+        self._connections: Set[asyncio.StreamWriter] = set()
+        self._stopped = asyncio.Event()
+        self._shutting_down = False
+        self._shutdown_done: Optional[asyncio.Task] = None
+        self.tcp_address: Optional[Tuple[str, int]] = None
+        self.unix_path: Optional[str] = None
+        self.final_result: Optional[CheckResult] = None
+        self.started_at = time.monotonic()
+        self.received = 0
+        self.pushed_violations = 0
+        self.gc_cycles = 0
+        self.gc_seconds = 0.0
+        self.ingest_errors = 0
+        self.last_ingest_error: Optional[str] = None
+        self.throughput = ThroughputSeries()
+        #: Violation messages handed to _broadcast, in push order — the
+        #: replay backlog for late subscribers.  Maintained on the event
+        #: loop so subscribe-with-replay can snapshot it and join
+        #: _subscribers without an await in between (atomic w.r.t.
+        #: broadcasts: no duplicate, no missed push).  Bounded: oldest
+        #: entries fall off a violation-heavy stream.
+        self._violation_log: Deque[Dict[str, Any]] = deque(maxlen=_MAX_REPLAY_BACKLOG)
+        #: ThroughputSeries is written by the drain loop (event-loop
+        #: thread) and snapshotted by stats() (worker thread).
+        self._throughput_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the configured listeners and start the drain loop."""
+        self._queue = asyncio.Queue(maxsize=self.config.queue_capacity)
+        self.started_at = time.monotonic()
+        if self.config.port is not None:
+            server = await asyncio.start_server(
+                self._handle_connection,
+                host=self.config.host,
+                port=self.config.port,
+                limit=_MAX_LINE_BYTES,
+            )
+            self._servers.append(server)
+            self.tcp_address = server.sockets[0].getsockname()[:2]
+        if self.config.unix_path is not None:
+            server = await asyncio.start_unix_server(
+                self._handle_connection,
+                path=str(self.config.unix_path),
+                limit=_MAX_LINE_BYTES,
+            )
+            self._servers.append(server)
+            self.unix_path = str(self.config.unix_path)
+        self._drain_task = asyncio.get_running_loop().create_task(self._drain_loop())
+        if math.isfinite(self.config.timeout):
+            # A finite EXT timeout arms real-clock deadlines that must
+            # fire even when no transactions arrive — the drain loop only
+            # polls after a batch, so an idle wire needs this tick.
+            self._tick_task = asyncio.get_running_loop().create_task(self._tick_loop())
+
+    async def wait_closed(self) -> None:
+        """Block until a graceful shutdown completes."""
+        await self._stopped.wait()
+
+    async def shutdown(self) -> CheckResult:
+        """Graceful stop: drain, finalize, broadcast, disconnect.
+
+        Safe to call more than once (later callers await the first
+        shutdown and receive the same final result).
+        """
+        if self._shutting_down:
+            assert self._shutdown_done is not None
+            return await asyncio.shield(self._shutdown_done)
+        self._shutting_down = True
+        self._shutdown_done = asyncio.get_running_loop().create_task(self._shutdown_impl())
+        return await asyncio.shield(self._shutdown_done)
+
+    async def _shutdown_impl(self) -> CheckResult:
+        # However shutdown ends — cleanly or with a raising finalize /
+        # broadcast / close — _stopped must be set, or wait_closed()
+        # (and `repro serve`, and ServiceThread.stop()) hangs forever on
+        # a daemon that can no longer recover.
+        try:
+            return await self._shutdown_steps()
+        finally:
+            self._stopped.set()
+
+    async def _shutdown_steps(self) -> CheckResult:
+        # Stop accepting new connections.  Server.wait_closed() is never
+        # awaited: since Python 3.12.1 it blocks until every connection
+        # handler returns, and this coroutine is typically awaited *by*
+        # a handler (a wire shutdown request) — a circular wait.  close()
+        # alone already closes the listening sockets; remaining handler
+        # cleanup happens when the loop exits.
+        for server in self._servers:
+            server.close()
+        # Drain everything already admitted, then stop the drain loop.
+        assert self._queue is not None
+        await self._queue.join()
+        if self._drain_task is not None:
+            self._drain_task.cancel()
+            try:
+                await self._drain_task
+            except asyncio.CancelledError:
+                pass
+        if self._tick_task is not None:
+            self._tick_task.cancel()
+            try:
+                await self._tick_task
+            except asyncio.CancelledError:
+                pass
+        # A submit handler suspended on a full queue can slip transactions
+        # in after join() returned (its blocked put resumes once slots
+        # free up).  They were acked, so they must be checked: keep
+        # flushing until the queue stays empty across an event-loop
+        # yield, which gives every woken putter its final turn.
+        while True:
+            leftovers: List[Transaction] = []
+            while True:
+                try:
+                    leftovers.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            if leftovers:
+                try:
+                    await self._run_checker(self._ingest_locked, leftovers)
+                except Exception as exc:
+                    self.ingest_errors += 1
+                    self.last_ingest_error = f"{type(exc).__name__}: {exc}"
+                for _ in leftovers:
+                    self._queue.task_done()
+                continue
+            await asyncio.sleep(0)
+            if self._queue.empty():
+                break
+        result = await self._run_checker(self._finalize_locked)
+        self.final_result = result
+        await self._broadcast(await self._run_checker(self._fresh_violation_messages))
+        # Every open connection — subscribed or not — receives the final
+        # result before its socket closes, so a client that requested the
+        # shutdown reads the verdict it asked for.
+        farewell = {"type": "result", **result_to_dict(result)}
+        for writer in list(self._connections):
+            self._send(writer, farewell)
+            self._send(writer, {"type": "bye"})
+        for writer in list(self._connections):
+            self._close_writer(writer)
+        close = getattr(self.checker, "close", None)
+        if close is not None:
+            await self._run_checker(self._locked, close)
+        return result
+
+    def _finalize_locked(self) -> CheckResult:
+        with self._lock:
+            return self.checker.finalize()
+
+    def _locked(self, fn, *args: Any) -> Any:
+        """Run ``fn`` under the ingest lock (for worker-thread dispatch).
+
+        Every checker touch goes through a worker thread rather than
+        acquiring the lock on the event loop: a large batch can hold the
+        lock for a long time, and the loop must keep serving pings,
+        stats, and fresh submissions meanwhile.
+        """
+        with self._lock:
+            return fn(*args)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    async def _drain_loop(self) -> None:
+        """Pull queued transactions, check them in batches, push verdicts."""
+        assert self._queue is not None
+        queue = self._queue
+        batch_size = self.config.batch_size
+        while True:
+            txn = await queue.get()
+            batch = [txn]
+            while len(batch) < batch_size:
+                try:
+                    batch.append(queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            try:
+                try:
+                    await self._run_checker(self._ingest_locked, batch)
+                except Exception as exc:
+                    # A rejected batch (e.g. a submitted append operation,
+                    # which the online checkers refuse) must not kill the
+                    # drain task — that would wedge every later drain /
+                    # finalize / shutdown on queue.join().  Drop the
+                    # batch, count it, keep draining.
+                    self.ingest_errors += 1
+                    self.last_ingest_error = f"{type(exc).__name__}: {exc}"
+                    print(
+                        f"repro.service: dropped a {len(batch)}-transaction batch: "
+                        f"{self.last_ingest_error}",
+                        file=sys.stderr,
+                    )
+                else:
+                    with self._throughput_lock:
+                        self.throughput.record(
+                            time.monotonic() - self.started_at, len(batch)
+                        )
+                    try:
+                        await self._maybe_collect()
+                        await self._broadcast(
+                            await self._run_checker(self._fresh_violation_messages)
+                        )
+                    except Exception as exc:
+                        # GC (which may spill to disk) or a push failing
+                        # must not kill the drain task either — the batch
+                        # was checked; losing a collection cycle or a
+                        # push is recoverable, a dead drain task is not.
+                        print(
+                            f"repro.service: post-ingest step failed: "
+                            f"{type(exc).__name__}: {exc}",
+                            file=sys.stderr,
+                        )
+            finally:
+                for _ in batch:
+                    queue.task_done()
+
+    async def _tick_loop(self) -> None:
+        """Fire due EXT-timeout verdicts while the wire is idle.
+
+        ``poll()`` is the only place the EXT timer queue advances outside
+        ingestion; without this tick a quiet stream would sit on expired
+        timers until the next submit or finalize.
+        """
+        while True:
+            await asyncio.sleep(self.config.poll_interval)
+            try:
+                await self._broadcast(await self._run_checker(self._fresh_violation_messages))
+            except Exception as exc:
+                print(
+                    f"repro.service: idle poll failed: {type(exc).__name__}: {exc}",
+                    file=sys.stderr,
+                )
+
+    def _ingest_locked(self, batch: List[Transaction]) -> None:
+        # ShardedAion ships its own thread-safe entry point (guarded by
+        # the same ingest_lock the daemon uses for every other touch);
+        # the single-shard checkers are wrapped here.
+        receive = getattr(self.checker, "receive_many_threadsafe", None)
+        if receive is not None:
+            receive(batch)
+        else:
+            with self._lock:
+                self.checker.receive_many(batch)
+
+    async def _run_checker(self, fn, *args: Any) -> Any:
+        """Run a checker-touching callable on a worker thread.
+
+        Keeps the event loop responsive while a batch is checked — other
+        connections keep submitting (until the queue bound bites) and
+        stats/ping stay answerable.
+        """
+        return await asyncio.get_running_loop().run_in_executor(None, fn, *args)
+
+    async def _maybe_collect(self) -> None:
+        if self.config.gc_threshold <= 0:
+            return
+        report = await self._run_checker(self._collect_locked)
+        if report is not None:
+            self.gc_cycles += 1
+            self.gc_seconds += report.seconds
+
+    def _collect_locked(self):
+        with self._lock:
+            if self.checker.resident_txn_count < self.config.gc_threshold:
+                return None
+            target = self.checker.suggest_gc_ts(
+                keep_recent=self.config.effective_gc_keep_recent
+            )
+            if target is None:
+                return None
+            return self.checker.collect_below(target)
+
+    def _fresh_violation_messages(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            fresh = self.checker.poll()
+        self.pushed_violations += len(fresh)
+        return [{"type": "violation", "violation": violation_to_dict(v)} for v in fresh]
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        self._send(
+            writer,
+            {
+                "type": "welcome",
+                "protocol": PROTOCOL_VERSION,
+                "checker": self.config.checker_kind,
+                "level": self.config.level,
+            },
+        )
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    self._send(writer, {"type": "error", "message": "line too long"})
+                    break
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    message = decode_line(line)
+                except ProtocolError as exc:
+                    self._send(writer, {"type": "error", "message": str(exc)})
+                    continue
+                if not await self._dispatch(message, writer):
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._subscribers.discard(writer)
+            self._connections.discard(writer)
+            self._close_writer(writer)
+
+    async def _dispatch(self, message: Dict[str, Any], writer: asyncio.StreamWriter) -> bool:
+        """Handle one request; returns False to close the connection."""
+        kind = message["type"]
+        seq = message.get("seq")
+        if kind == "hello":
+            return True
+        if kind == "ping":
+            self._send(writer, {"type": "pong", "seq": seq})
+            return True
+        if kind == "submit":
+            return await self._handle_submit(message, writer)
+        if kind == "subscribe":
+            reply: Dict[str, Any] = {"type": "subscribed", "seq": seq}
+            self._send(writer, reply)
+            if message.get("replay"):
+                # Backlog then membership, with no await in between —
+                # broadcasts run on this same loop, so the backlog and
+                # the live stream partition exactly.
+                for push in self._violation_log:
+                    self._send(writer, push)
+            self._subscribers.add(writer)
+            return True
+        if kind == "stats":
+            include_bytes = bool(message.get("bytes", True))
+            stats = await self._run_checker(self.stats, include_bytes)
+            self._send(writer, {"type": "stats", "seq": seq, "stats": stats})
+            return True
+        if kind == "drain":
+            assert self._queue is not None
+            await self._queue.join()
+            processed = await self._run_checker(self._locked, lambda: self.checker.processed)
+            self._send(writer, {"type": "drained", "seq": seq, "processed": processed})
+            return True
+        if kind == "finalize":
+            assert self._queue is not None
+            await self._queue.join()
+            result = await self._run_checker(self._finalize_locked)
+            await self._broadcast(await self._run_checker(self._fresh_violation_messages))
+            self._send(writer, {"type": "result", "seq": seq, **result_to_dict(result)})
+            return True
+        if kind == "shutdown":
+            # shutdown() sends the final result and a bye to every open
+            # connection (this one included) before closing the sockets.
+            await self.shutdown()
+            return False
+        self._send(writer, {"type": "error", "seq": seq, "message": f"unknown message type {kind!r}"})
+        return True
+
+    async def _handle_submit(self, message: Dict[str, Any], writer: asyncio.StreamWriter) -> bool:
+        seq = message.get("seq")
+        if self._shutting_down:
+            self._send(writer, {"type": "error", "seq": seq, "message": "service is shutting down"})
+            return True
+        raw = message.get("txns")
+        if raw is None:
+            single = message.get("txn")
+            raw = [single] if single is not None else None
+        if not isinstance(raw, list) or not raw:
+            self._send(
+                writer,
+                {"type": "error", "seq": seq, "message": "submit carries no transactions"},
+            )
+            return True
+        try:
+            txns = [txn_from_dict(item) for item in raw]
+        except (KeyError, TypeError, ValueError) as exc:
+            self._send(
+                writer,
+                {"type": "error", "seq": seq, "message": f"malformed transaction: {exc!r}"},
+            )
+            return True
+        assert self._queue is not None
+        admitted = 0
+        for txn in txns:
+            # Re-checked per transaction: a shutdown can start while this
+            # handler is suspended on a full queue, and transactions
+            # admitted past that point race the final drain.
+            if self._shutting_down:
+                break
+            # Admission blocks when the queue is full: this reader stops
+            # consuming its socket and the producer sees TCP backpressure.
+            await self._queue.put(txn)
+            admitted += 1
+        self.received += admitted
+        if admitted < len(txns):
+            if seq is not None:
+                self._send(
+                    writer,
+                    {
+                        "type": "error",
+                        "seq": seq,
+                        "message": f"service is shutting down; "
+                        f"admitted {admitted} of {len(txns)} transactions",
+                    },
+                )
+        elif seq is not None:
+            self._send(writer, {"type": "ack", "seq": seq, "enqueued": admitted})
+        return True
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+
+    def _send(self, writer: asyncio.StreamWriter, message: Dict[str, Any]) -> None:
+        if writer.is_closing():
+            return
+        try:
+            writer.write(encode_message(message))
+        except (ConnectionResetError, BrokenPipeError, RuntimeError):
+            self._subscribers.discard(writer)
+
+    async def _broadcast(self, messages: List[Dict[str, Any]]) -> None:
+        """Push ``messages`` to every subscriber without ever blocking.
+
+        Never awaits a subscriber's socket — a consumer that stops
+        reading must not stall checking for everyone else.  Bytes queue
+        in the transport; a subscriber whose buffer outgrows
+        :data:`_MAX_SUBSCRIBER_BUFFER` is shed instead of waited on.
+        """
+        self._violation_log.extend(messages)
+        if not messages or not self._subscribers:
+            return
+        payload = b"".join(encode_message(m) for m in messages)
+        for writer in list(self._subscribers):
+            if writer.is_closing():
+                self._subscribers.discard(writer)
+                continue
+            try:
+                writer.write(payload)
+                if writer.transport.get_write_buffer_size() > _MAX_SUBSCRIBER_BUFFER:
+                    self._subscribers.discard(writer)
+                    self._close_writer(writer)
+                    print(
+                        "repro.service: dropped a subscriber that stopped reading",
+                        file=sys.stderr,
+                    )
+            except (ConnectionResetError, BrokenPipeError, RuntimeError):
+                self._subscribers.discard(writer)
+
+    def _close_writer(self, writer: asyncio.StreamWriter) -> None:
+        try:
+            if not writer.is_closing():
+                writer.close()
+        except RuntimeError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self, include_bytes: bool = True) -> Dict[str, Any]:
+        """Counters for the ``STATS`` request (and the CLI's summary).
+
+        ``include_bytes=False`` skips ``estimated_bytes`` (a deep sizeof
+        walk over all resident state, O(resident txns) under the ingest
+        lock) — the cheap mode for a monitoring poller on a hot daemon;
+        the wire request opts out with ``{"type": "stats", "bytes": false}``.
+        """
+        with self._lock:
+            resident = self.checker.resident_txn_count
+            processed = self.checker.processed
+            violations = len(self.checker.result.violations)
+            estimated_bytes = self.checker.estimated_bytes() if include_bytes else None
+        queue_depth = self._queue.qsize() if self._queue is not None else 0
+        with self._throughput_lock:
+            throughput = self.throughput.snapshot()
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "checker": self.config.checker_kind,
+            "level": self.config.level,
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "received": self.received,
+            "processed": processed,
+            "queue_depth": queue_depth,
+            "resident_txns": resident,
+            "violations": violations,
+            "subscribers": len(self._subscribers),
+            "connections": len(self._connections),
+            "estimated_bytes": estimated_bytes,
+            "ingest_errors": self.ingest_errors,
+            "last_ingest_error": self.last_ingest_error,
+            "throughput": throughput,
+            "gc": {
+                "cycles": self.gc_cycles,
+                "seconds": round(self.gc_seconds, 6),
+                "threshold": self.config.gc_threshold,
+            },
+        }
+
+
+class ServiceThread:
+    """Host a :class:`CheckerService` on a dedicated background thread.
+
+    The blocking client library cannot share a thread with the daemon's
+    event loop; this helper gives tests, benchmarks, and synchronous
+    embedders a daemon that behaves like a separate process::
+
+        with ServiceThread(ServiceConfig(port=0)) as handle:
+            client = CheckerClient(*handle.tcp_address)
+            ...
+
+    ``stop()`` performs the daemon's graceful drain-then-finalize
+    shutdown and returns the final :class:`CheckResult` (also reachable
+    afterwards as ``handle.service.final_result`` when a client already
+    shut the daemon down over the wire).
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.service: Optional[CheckerService] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self, timeout: float = 30.0) -> "ServiceThread":
+        self._thread = threading.Thread(target=self._run, name="repro-service", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise TimeoutError("service thread did not start in time")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # pragma: no cover - surfaced via start()
+            if not self._ready.is_set():
+                self._startup_error = exc
+                self._ready.set()
+
+    async def _main(self) -> None:
+        self.service = CheckerService(self.config)
+        self._loop = asyncio.get_running_loop()
+        try:
+            await self.service.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self.service.wait_closed()
+
+    @property
+    def tcp_address(self) -> Tuple[str, int]:
+        assert self.service is not None and self.service.tcp_address is not None
+        return self.service.tcp_address
+
+    def stop(self, timeout: float = 30.0) -> Optional[CheckResult]:
+        """Gracefully stop the daemon; returns the final result."""
+        if self._thread is None or self.service is None:
+            return None
+        if self._thread.is_alive() and self._loop is not None:
+            try:
+                future = asyncio.run_coroutine_threadsafe(self.service.shutdown(), self._loop)
+                future.result(timeout)
+            except RuntimeError:
+                # The loop already exited (a client shut the daemon down).
+                pass
+        self._thread.join(timeout)
+        return self.service.final_result
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,278 @@
+"""The checker service's wire protocol: ndjson messages, one per line.
+
+Every message is a single JSON object terminated by ``\\n`` (UTF-8, no
+embedded newlines) — the same framing the history files use, so a
+producer that can append to a JSONL history can speak to the daemon with
+a two-line change.  Each object carries a ``type`` field; everything
+else is type-specific.
+
+Client → server
+---------------
+============  =====================================================
+``hello``     optional greeting: ``{"client": str}``
+``submit``    ``{"txns": [txn, ...]}`` or ``{"txn": txn}``; an
+              optional ``seq`` requests an ``ack`` once the batch is
+              *enqueued* (admission, not checking — verdicts arrive
+              via ``subscribe``/``finalize``)
+``subscribe`` start pushing ``violation`` messages to this
+              connection; ``{"replay": true}`` also replays
+              violations reported before the subscription
+``stats``     ``{"seq": n}`` → one ``stats`` reply
+``drain``     ``{"seq": n}`` → ``drained`` once every transaction
+              enqueued so far has been checked
+``finalize``  ``{"seq": n}`` → drain, force-finalize pending EXT
+              verdicts, reply with a ``result``
+``shutdown``  graceful stop: drain, finalize, broadcast the final
+              ``result``, reply ``bye``, exit
+``ping``      ``{"seq": n}`` → ``pong``
+============  =====================================================
+
+Server → client
+---------------
+============  =====================================================
+``welcome``   first message on every connection: protocol version,
+              checker kind, isolation level
+``ack``       ``{"seq": n, "enqueued": k}``
+``violation`` one checked-and-reported violation, pushed live
+``stats``     resident/throughput/GC counters (see
+              :meth:`repro.service.daemon.CheckerService.stats`)
+``drained``   ``{"seq": n, "processed": k}``
+``result``    ``{"valid": bool, "summary": str, "violations": [...]}``
+``pong``      ``{"seq": n}``
+``error``     ``{"message": str, "seq": n?}`` — the connection
+              survives; only the offending request is rejected
+``bye``       the server is closing this connection
+============  =====================================================
+
+Transactions travel in the exact dict form of
+:mod:`repro.histories.serialization` (``txn_to_dict``/``txn_from_dict``),
+so WAL files, history files, and wire traffic share one schema.
+Violations are encoded by :func:`violation_to_dict`; snapshot values may
+be the unreadable ⊥v or tuples, which JSON cannot represent natively —
+:func:`value_to_wire` tags them (``{"$": "bottom"}`` /
+``{"$": "tuple", "items": [...]}``; plain JSON-object values are wrapped
+as ``{"$": "obj", "value": {...}}`` so they cannot collide with tags)
+and :func:`value_from_wire` restores the originals exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.core.common import BOTTOM
+from repro.core.violations import (
+    Axiom,
+    CheckResult,
+    ConflictViolation,
+    ExtViolation,
+    IntViolation,
+    SessionViolation,
+    TimestampOrderViolation,
+    Violation,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "encode_message",
+    "decode_line",
+    "value_to_wire",
+    "value_from_wire",
+    "violation_to_dict",
+    "violation_from_dict",
+    "result_to_dict",
+    "result_from_dict",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Message types a conforming server accepts.
+CLIENT_MESSAGE_TYPES = frozenset(
+    {"hello", "submit", "subscribe", "stats", "drain", "finalize", "shutdown", "ping"}
+)
+#: Message types a conforming client must tolerate.
+SERVER_MESSAGE_TYPES = frozenset(
+    {"welcome", "ack", "violation", "stats", "drained", "result", "pong", "error", "bye",
+     "subscribed"}
+)
+
+
+class ProtocolError(ValueError):
+    """A malformed or out-of-contract wire message."""
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """Render one message as an ndjson line (including the newline)."""
+    return json.dumps(message, separators=(",", ":"), ensure_ascii=False).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one wire line into a message dict, validating the envelope."""
+    try:
+        message = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"not valid JSON: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(f"message must be a JSON object, got {type(message).__name__}")
+    kind = message.get("type")
+    if not isinstance(kind, str):
+        raise ProtocolError("message lacks a string 'type' field")
+    return message
+
+
+# ----------------------------------------------------------------------
+# Value encoding: ⊥v and tuples survive the JSON round trip
+# ----------------------------------------------------------------------
+
+def value_to_wire(value: Any) -> Any:
+    if value is BOTTOM:
+        return {"$": "bottom"}
+    if isinstance(value, tuple):
+        return {"$": "tuple", "items": [value_to_wire(item) for item in value]}
+    if isinstance(value, dict):
+        # Plain JSON-object values must be wrapped too, or the decoder
+        # would read them as (unknown) tags — and a value legitimately
+        # containing a "$" key would be misinterpreted.
+        return {"$": "obj", "value": value}
+    return value
+
+
+def value_from_wire(wire: Any) -> Any:
+    if isinstance(wire, dict):
+        tag = wire.get("$")
+        if tag == "bottom":
+            return BOTTOM
+        if tag == "tuple":
+            return tuple(value_from_wire(item) for item in wire["items"])
+        if tag == "obj":
+            return wire["value"]
+        raise ProtocolError(f"unknown value tag {tag!r}")
+    return wire
+
+
+# ----------------------------------------------------------------------
+# Violation encoding
+# ----------------------------------------------------------------------
+
+_KIND_SESSION = "session"
+_KIND_INT = "int"
+_KIND_EXT = "ext"
+_KIND_CONFLICT = "conflict"
+_KIND_TS_ORDER = "ts_order"
+_KIND_BASE = "violation"
+
+
+def violation_to_dict(violation: Violation) -> Dict[str, Any]:
+    """Encode one violation record for the wire."""
+    base = {"axiom": violation.axiom.value, "tid": violation.tid}
+    if isinstance(violation, SessionViolation):
+        base.update(
+            kind=_KIND_SESSION,
+            sid=violation.sid,
+            expected_sno=violation.expected_sno,
+            actual_sno=violation.actual_sno,
+            start_ts=violation.start_ts,
+            last_commit_ts=violation.last_commit_ts,
+        )
+    elif isinstance(violation, IntViolation):
+        base.update(
+            kind=_KIND_INT,
+            key=violation.key,
+            expected=value_to_wire(violation.expected),
+            actual=value_to_wire(violation.actual),
+        )
+    elif isinstance(violation, ExtViolation):
+        base.update(
+            kind=_KIND_EXT,
+            key=violation.key,
+            expected=value_to_wire(violation.expected),
+            actual=value_to_wire(violation.actual),
+        )
+    elif isinstance(violation, ConflictViolation):
+        base.update(
+            kind=_KIND_CONFLICT,
+            key=violation.key,
+            conflicting_tids=sorted(violation.conflicting_tids),
+        )
+    elif isinstance(violation, TimestampOrderViolation):
+        base.update(kind=_KIND_TS_ORDER, start_ts=violation.start_ts, commit_ts=violation.commit_ts)
+    else:
+        base.update(kind=_KIND_BASE)
+    return base
+
+
+def violation_from_dict(data: Dict[str, Any]) -> Violation:
+    """Decode a violation record; inverse of :func:`violation_to_dict`."""
+    try:
+        axiom = Axiom(data["axiom"])
+        tid = data["tid"]
+        kind = data.get("kind", _KIND_BASE)
+        if kind == _KIND_SESSION:
+            return SessionViolation(
+                axiom=axiom,
+                tid=tid,
+                sid=data["sid"],
+                expected_sno=data["expected_sno"],
+                actual_sno=data["actual_sno"],
+                start_ts=data["start_ts"],
+                last_commit_ts=data["last_commit_ts"],
+            )
+        if kind == _KIND_INT:
+            return IntViolation(
+                axiom=axiom,
+                tid=tid,
+                key=data["key"],
+                expected=value_from_wire(data["expected"]),
+                actual=value_from_wire(data["actual"]),
+            )
+        if kind == _KIND_EXT:
+            return ExtViolation(
+                axiom=axiom,
+                tid=tid,
+                key=data["key"],
+                expected=value_from_wire(data["expected"]),
+                actual=value_from_wire(data["actual"]),
+            )
+        if kind == _KIND_CONFLICT:
+            return ConflictViolation(
+                axiom=axiom,
+                tid=tid,
+                key=data["key"],
+                conflicting_tids=frozenset(data["conflicting_tids"]),
+            )
+        if kind == _KIND_TS_ORDER:
+            return TimestampOrderViolation(
+                axiom=axiom, tid=tid, start_ts=data["start_ts"], commit_ts=data["commit_ts"]
+            )
+        if kind == _KIND_BASE:
+            return Violation(axiom=axiom, tid=tid)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed violation record: {exc!r}") from None
+    raise ProtocolError(f"unknown violation kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Check results
+# ----------------------------------------------------------------------
+
+def result_to_dict(result: CheckResult) -> Dict[str, Any]:
+    """Encode a whole check result (report order preserved)."""
+    return {
+        "valid": result.is_valid,
+        "summary": result.summary(),
+        "counts": {axiom.value: count for axiom, count in result.counts().items()},
+        "violations": [violation_to_dict(v) for v in result.violations],
+    }
+
+
+def result_from_dict(data: Dict[str, Any]) -> CheckResult:
+    """Decode a check result; inverse of :func:`result_to_dict`."""
+    try:
+        records: List[Dict[str, Any]] = data["violations"]
+    except (KeyError, TypeError) as exc:
+        raise ProtocolError(f"malformed result record: {exc!r}") from None
+    result = CheckResult()
+    for record in records:
+        result.add(violation_from_dict(record))
+    return result

@@ -1,6 +1,8 @@
 """Tests for storage, oracles, CDC and fault injection."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.chronos import Chronos
 from repro.core.violations import Axiom
@@ -113,6 +115,96 @@ class TestCdc:
         db.cdc.subscribe(lambda record: seen.append(record.tid))
         generate_default_history(spec, database=db)
         assert len(seen) == 50  # ⊥T was emitted before subscription
+
+    def test_save_wal_and_iter_wal_file(self, tmp_path):
+        from repro.db.cdc import ChangeLog, CdcRecord, iter_wal_file
+        from repro.histories.model import OpKind, Operation
+
+        log = ChangeLog()
+        log.emit(CdcRecord(tid=1, sid=1, sno=0, start_ts=1, commit_ts=2,
+                           ops=(Operation(OpKind.WRITE, "x", 1),)))
+        log.emit(CdcRecord(tid=2, sid=2, sno=0, start_ts=3, commit_ts=4, ops=()))
+        path = tmp_path / "capture.wal"
+        assert log.save_wal(path) == 2
+        streamed = list(iter_wal_file(path))
+        assert [t.tid for t in streamed] == [1, 2]
+        assert list(map(_txn_fingerprint, streamed)) == list(
+            map(_txn_fingerprint, log.to_history())
+        )
+
+    def test_iter_wal_file_skips_foreign_records(self, tmp_path):
+        from repro.db.cdc import iter_wal_file
+
+        path = tmp_path / "mixed.wal"
+        path.write_text(
+            "BEGIN 7\n"
+            'COMMIT {"tid":7,"sid":1,"sno":0,"sts":1,"cts":2,"ops":[["w","x",1]]}\n'
+            "\n"
+            "CHECKPOINT 9\n",
+            encoding="utf-8",
+        )
+        assert [t.tid for t in iter_wal_file(path)] == [7]
+
+
+def _txn_fingerprint(txn):
+    """Full structural identity (Transaction.__eq__ compares tids only)."""
+    return (
+        txn.tid, txn.sid, txn.sno, txn.start_ts, txn.commit_ts,
+        tuple((op.kind, op.key, op.value) for op in txn.ops),
+    )
+
+
+class TestWalRoundTripProperty:
+    """parse_wal ∘ wal_lines is the identity on captured logs — including
+    unicode keys, empty transactions, and out-of-order session ids."""
+
+    _keys = st.text(min_size=1, max_size=6).filter(lambda s: s.strip() == s and s)
+    _values = st.one_of(st.none(), st.integers(-10, 10), st.text(max_size=4))
+    _ops = st.lists(
+        st.tuples(st.sampled_from(["r", "w"]), _keys, _values), max_size=5
+    )
+
+    @staticmethod
+    def _record(tid, sid, sno, start_ts, span, op_specs):
+        from repro.db.cdc import CdcRecord
+        from repro.histories.model import OpKind, Operation
+
+        ops = tuple(
+            Operation(OpKind.READ if code == "r" else OpKind.WRITE, key, value)
+            for code, key, value in op_specs
+        )
+        return CdcRecord(
+            tid=tid, sid=sid, sno=sno, start_ts=start_ts,
+            commit_ts=start_ts + span, ops=ops,
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        txns=st.lists(
+            st.tuples(
+                st.integers(0, 99),       # sid — arbitrary, repeats, unsorted
+                st.integers(0, 5),        # sno
+                st.integers(0, 1000),     # start_ts
+                st.integers(0, 20),       # commit span
+                _ops,
+            ),
+            max_size=12,
+        )
+    )
+    def test_round_trip(self, txns, tmp_path_factory):
+        from repro.db.cdc import ChangeLog, iter_wal_file, parse_wal
+
+        log = ChangeLog()
+        for tid, (sid, sno, start_ts, span, op_specs) in enumerate(txns):
+            log.emit(self._record(tid, sid, sno, start_ts, span, op_specs))
+
+        original = [_txn_fingerprint(txn) for txn in log.to_history()]
+        parsed = parse_wal(log.wal_lines())
+        assert [_txn_fingerprint(txn) for txn in parsed] == original
+
+        path = tmp_path_factory.mktemp("wal") / "log.wal"
+        log.save_wal(path)
+        assert [_txn_fingerprint(txn) for txn in iter_wal_file(path)] == original
 
 
 class TestSkewedOracle:

@@ -99,6 +99,66 @@ class TestCollector:
         with pytest.raises(ValueError):
             HistoryCollector(arrival_tps=0)
 
+    def test_iter_batches_cadence_and_partition(self, si_history):
+        collector = HistoryCollector(batch_size=100, arrival_tps=10_000)
+        txns = si_history.by_commit_ts()
+        batches = list(collector.iter_batches(txns))
+        assert sum(len(batch) for _, batch in batches) == len(txns)
+        assert [txn for _, batch in batches for txn in batch] == txns
+        assert all(len(batch) == 100 for _, batch in batches[:-1])
+        departures = [depart for depart, _ in batches]
+        # 100-txn batches at 10K TPS depart every 10 ms, starting at 0.
+        for index, depart in enumerate(departures):
+            assert abs(depart - index * 0.01) < 1e-12
+
+    def test_adversarial_delays_trigger_session_holdback(self):
+        """Delays crafted to invert every same-session pair: the
+        ``_SESSION_EPSILON`` holdback must fire and restore the order."""
+        from repro.histories.builder import HistoryBuilder
+        from repro.histories.ops import write
+        from repro.online.collector import _SESSION_EPSILON
+
+        builder = HistoryBuilder(with_init=False)
+        n_sessions, per_session = 3, 20
+        ts = 0
+        for sno in range(per_session):
+            for sid in range(1, n_sessions + 1):
+                ts += 2
+                builder.txn(sid=sid, start=ts, commit=ts + 1, ops=[write(f"k{sid}", sno)])
+        history = builder.build()
+
+        class ShrinkingDelay:
+            """Strictly decreasing delays: within a batch, every later
+            transaction would arrive *before* every earlier one."""
+
+            def __init__(self) -> None:
+                self.remaining = 10.0
+
+            def delay_seconds(self, rng) -> float:
+                self.remaining -= 0.01
+                return self.remaining
+
+        collector = HistoryCollector(
+            batch_size=n_sessions * per_session,
+            arrival_tps=1_000_000,
+            delay_model=ShrinkingDelay(),
+        )
+        schedule = collector.schedule(history)
+
+        last_sno = {}
+        holdbacks = 0
+        last_arrival = {}
+        for arrival, txn in schedule:
+            assert last_sno.get(txn.sid, -1) == txn.sno - 1, "session order broken"
+            last_sno[txn.sid] = txn.sno
+            previous = last_arrival.get(txn.sid)
+            if previous is not None and abs((arrival - previous) - _SESSION_EPSILON) < 1e-12:
+                holdbacks += 1
+            last_arrival[txn.sid] = arrival
+        # Every same-session successor was held back to its predecessor's
+        # floor plus epsilon — (per_session - 1) pairs per session.
+        assert holdbacks == n_sessions * (per_session - 1)
+
 
 class TestMetrics:
     def test_throughput_buckets(self):
@@ -117,6 +177,38 @@ class TestMetrics:
         for t in range(1, 5):
             series.record(t + 0.5)
         assert series.sustained_tps() == 1.0
+
+    def test_negative_and_straddling_timestamps_bucket_by_floor(self):
+        """Regression: ``int(t / w)`` truncates toward zero, folding every
+        timestamp in ``(-1, 1)`` bucket widths into bucket 0; bucketing
+        must use floor semantics instead."""
+        series = ThroughputSeries()
+        series.record(-0.5)
+        series.record(0.5)
+        points = dict(series.series())
+        assert points[-1.0] == 1 and points[0.0] == 1
+        assert series.peak_tps() == 1  # not 2 collapsed into one bucket
+        assert series.total == 2
+
+        wide = ThroughputSeries(bucket_seconds=2.0)
+        wide.record(-3.0)  # exact multiple: floor(-1.5) = -2, not -1
+        wide.record(-0.1)
+        wide.record(0.0)
+        assert dict(wide.series()) == {-4.0: 0.5, -2.0: 0.5, 0.0: 0.5}
+
+    def test_series_extends_to_bucket_zero(self):
+        series = ThroughputSeries()
+        series.record(2.5)
+        assert [t for t, _ in series.series()] == [0.0, 1.0, 2.0]
+
+    def test_snapshot_counters(self):
+        series = ThroughputSeries()
+        for t in (0.1, 0.2, 1.5):
+            series.record(t)
+        snap = series.snapshot()
+        assert snap["total"] == 3
+        assert snap["buckets"] == 2
+        assert snap["peak_tps"] == 2.0
 
     def test_memory_sampler_cadence(self):
         values = iter(range(100))

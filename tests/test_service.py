@@ -1,0 +1,533 @@
+"""Service subsystem tests: protocol codecs, daemon behaviour, and the
+wire-vs-in-process differential.
+
+The acceptance claim is the last class: for every anomaly fixture (and
+for generated/fault-injected workloads), verdicts obtained through the
+daemon — multiple concurrent client connections, arbitrary interleaving
+between sessions — are identical to feeding the same history directly
+into ``Aion`` / ``ShardedAion``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.aion import Aion, AionConfig
+from repro.core.aion_ser import AionSer
+from repro.core.common import BOTTOM
+from repro.core.reference import normalize_violations
+from repro.core.sharded import ShardedAion
+from repro.core.violations import (
+    Axiom,
+    CheckResult,
+    ConflictViolation,
+    ExtViolation,
+    IntViolation,
+    SessionViolation,
+    TimestampOrderViolation,
+    Violation,
+)
+from repro.db.faults import HistoryFaultInjector
+from repro.histories.anomalies import ANOMALY_CATALOG
+from repro.histories.model import Operation, OpKind, Transaction
+from repro.service import (
+    CheckerClient,
+    ServiceConfig,
+    ServiceError,
+    ServiceThread,
+    replay_transactions,
+    transactions_in_commit_order,
+)
+from repro.service.protocol import (
+    ProtocolError,
+    decode_line,
+    encode_message,
+    result_from_dict,
+    result_to_dict,
+    value_from_wire,
+    value_to_wire,
+    violation_from_dict,
+    violation_to_dict,
+)
+from repro.workloads.generator import generate_default_history
+from repro.workloads.spec import WorkloadSpec
+
+SRC_DIR = str(Path(__file__).resolve().parents[1] / "src")
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def start_service():
+    """Start daemons on background threads; stop them all on teardown."""
+    handles = []
+
+    def _start(**kwargs) -> ServiceThread:
+        kwargs.setdefault("port", 0)
+        kwargs.setdefault("timeout", float("inf"))
+        handle = ServiceThread(ServiceConfig(**kwargs)).start()
+        handles.append(handle)
+        return handle
+
+    yield _start
+    for handle in handles:
+        handle.stop()
+
+
+def connect(handle: ServiceThread, **kwargs) -> CheckerClient:
+    host, port = handle.tcp_address
+    client = CheckerClient(host, port, **kwargs)
+    client.connect()
+    return client
+
+
+def anomaly_txns(name: str):
+    return transactions_in_commit_order(ANOMALY_CATALOG[name].build())
+
+
+# ----------------------------------------------------------------------
+# Protocol codecs
+# ----------------------------------------------------------------------
+
+class TestProtocol:
+    @pytest.mark.parametrize(
+        "violation",
+        [
+            Violation(axiom=Axiom.SESSION, tid=3),
+            SessionViolation(
+                axiom=Axiom.SESSION, tid=4, sid=2, expected_sno=1, actual_sno=3,
+                start_ts=10, last_commit_ts=12,
+            ),
+            IntViolation(axiom=Axiom.INT, tid=5, key="x", expected=1, actual=2),
+            ExtViolation(axiom=Axiom.EXT, tid=6, key="ключ", expected=BOTTOM, actual=7),
+            ExtViolation(axiom=Axiom.EXT, tid=7, key="l", expected=(1, 2), actual=(1,)),
+            ConflictViolation(
+                axiom=Axiom.NOCONFLICT, tid=8, key="y", conflicting_tids=frozenset({9, 11})
+            ),
+            TimestampOrderViolation(axiom=Axiom.TS_ORDER, tid=9, start_ts=5, commit_ts=3),
+        ],
+    )
+    def test_violation_round_trip(self, violation):
+        wire = violation_to_dict(violation)
+        decoded = violation_from_dict(wire)
+        assert decoded == violation
+        assert decoded.describe() == violation.describe()
+
+    def test_violation_survives_json_framing(self):
+        violation = ExtViolation(axiom=Axiom.EXT, tid=6, key="⊥-key", expected=BOTTOM, actual=(1, "а"))
+        line = encode_message({"type": "violation", "violation": violation_to_dict(violation)})
+        message = decode_line(line)
+        assert violation_from_dict(message["violation"]) == violation
+
+    def test_value_tags(self):
+        for value in (None, 0, "s", BOTTOM, (1, 2), ((1,), BOTTOM), ()):
+            assert value_from_wire(value_to_wire(value)) == value
+        assert value_from_wire(value_to_wire(BOTTOM)) is BOTTOM
+        # Plain JSON-object values round-trip too — including one whose
+        # own keys would look like a codec tag.
+        for value in ({}, {"a": 1}, {"$": "bottom"}, ({"x": [1]},)):
+            assert value_from_wire(value_to_wire(value)) == value
+        with pytest.raises(ProtocolError):
+            value_from_wire({"$": "mystery"})
+
+    def test_result_round_trip(self):
+        result = CheckResult()
+        result.add(IntViolation(axiom=Axiom.INT, tid=1, key="x", expected=1, actual=2))
+        result.add(ExtViolation(axiom=Axiom.EXT, tid=2, key="y", expected=BOTTOM, actual=0))
+        data = result_to_dict(result)
+        assert data["valid"] is False and data["counts"] == {"INT": 1, "EXT": 1}
+        decoded = result_from_dict(data)
+        assert decoded.violations == result.violations
+        assert result_to_dict(CheckResult())["valid"] is True
+
+    def test_decode_line_rejects_garbage(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"not json\n")
+        with pytest.raises(ProtocolError):
+            decode_line(b"[1,2]\n")
+        with pytest.raises(ProtocolError):
+            decode_line(b'{"no_type": 1}\n')
+        with pytest.raises(ProtocolError):
+            violation_from_dict({"axiom": "EXT", "tid": 1, "kind": "nope"})
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(port=None).validate()
+        with pytest.raises(ValueError):
+            ServiceConfig(level="serializable").validate()
+        with pytest.raises(ValueError):
+            ServiceConfig(level="ser", n_shards=2).validate()
+        with pytest.raises(ValueError):
+            ServiceConfig(queue_capacity=0).validate()
+        # keep_recent at/above the threshold would make GC a silent no-op.
+        with pytest.raises(ValueError):
+            ServiceConfig(gc_threshold=500, gc_keep_recent=2000).validate()
+        ServiceConfig(gc_threshold=500, gc_keep_recent=100).validate()
+        assert ServiceConfig(gc_threshold=500).effective_gc_keep_recent == 250
+        assert ServiceConfig(n_shards=4).checker_kind == "sharded-aion-x4"
+        assert ServiceConfig(level="ser").checker_kind == "aion-ser"
+
+
+# ----------------------------------------------------------------------
+# Daemon behaviour
+# ----------------------------------------------------------------------
+
+class TestDaemon:
+    def test_submit_finalize_matches_in_process(self, start_service):
+        handle = start_service()
+        txns = anomaly_txns("dirty-read")
+        with connect(handle) as client:
+            client.submit_many(txns)
+            result = client.finalize()
+        baseline = Aion(AionConfig(timeout=float("inf")), clock=lambda: 0.0)
+        for txn in txns:
+            baseline.receive(txn)
+        assert normalize_violations(result) == normalize_violations(baseline.finalize())
+        baseline.close()
+
+    def test_stats_counters(self, start_service):
+        handle = start_service(n_shards=2)
+        txns = anomaly_txns("lost-update")
+        with connect(handle) as client:
+            client.ping()
+            client.submit_many(txns)
+            processed = client.drain()
+            stats = client.stats()
+        assert processed == len(txns)
+        assert stats["received"] == len(txns)
+        assert stats["processed"] == len(txns)
+        assert stats["resident_txns"] == len(txns)
+        assert stats["queue_depth"] == 0
+        assert stats["checker"] == "sharded-aion-x2"
+        assert stats["violations"] == 1  # NOCONFLICT reports immediately
+        assert stats["estimated_bytes"] > 0
+        assert stats["throughput"]["total"] == len(txns)
+        assert stats["gc"] == {"cycles": 0, "seconds": 0.0, "threshold": 0}
+
+    def test_live_violation_push(self, start_service):
+        handle = start_service()
+        subscriber = connect(handle)
+        subscriber.subscribe()
+        with connect(handle) as producer:
+            producer.submit_many(anomaly_txns("lost-update"))
+            producer.drain()
+        pushed = subscriber.wait_for_violations(1, timeout=10.0)
+        assert len(pushed) == 1
+        assert isinstance(pushed[0], ConflictViolation)
+        subscriber.close()
+
+    def test_idle_ext_timeout_pushes_without_traffic(self, start_service):
+        # A finite EXT timeout arms real-clock deadlines; the periodic
+        # poll must fire and push them while the wire is idle — no
+        # further submits, no drain, no finalize.
+        handle = start_service(timeout=0.2, poll_interval=0.05)
+        subscriber = connect(handle)
+        subscriber.subscribe()
+        with connect(handle) as producer:
+            producer.submit_many(anomaly_txns("dirty-read"))
+            producer.drain()
+        pushed = subscriber.wait_for_violations(1, timeout=10.0)
+        assert pushed and pushed[0].axiom is Axiom.EXT
+        subscriber.close()
+
+    def test_subscribe_replay_delivers_backlog(self, start_service):
+        handle = start_service()
+        with connect(handle) as producer:
+            producer.submit_many(anomaly_txns("lost-update"))
+            producer.drain()
+            late = connect(handle)
+            late.subscribe(replay=True)
+            pushed = late.wait_for_violations(1, timeout=10.0)
+            assert len(pushed) == 1 and pushed[0].axiom is Axiom.NOCONFLICT
+            late.close()
+
+    def test_malformed_input_keeps_connection_alive(self, start_service):
+        handle = start_service()
+        with connect(handle) as client:
+            client._send({"type": "teleport"})
+            assert "unknown message type" in client._read_message()["message"]
+            client._sock.sendall(b"this is not json\n")
+            assert client._read_message()["type"] == "error"
+            client._send({"type": "submit", "txns": [{"tid": 1}]})  # missing fields
+            assert "malformed transaction" in client._read_message()["message"]
+            with pytest.raises(ServiceError):
+                client._request({"type": "submit", "txns": []}, expect="ack")
+            # After four rejected requests the connection still works.
+            client.submit_many(anomaly_txns("dirty-read"))
+            assert client.drain() == 3
+
+    def test_rejected_batch_does_not_wedge_daemon(self, start_service):
+        # Aion refuses list (append) operations online; a poison batch
+        # must be dropped — not kill the drain task, which would wedge
+        # every later drain/finalize/shutdown on queue.join().
+        handle = start_service()
+        poison = Transaction(
+            tid=1,
+            sid=1,
+            sno=1,
+            ops=[Operation(OpKind.APPEND, "x", 1)],
+            start_ts=1,
+            commit_ts=2,
+        )
+        with connect(handle) as client:
+            client.submit_many([poison])
+            assert client.drain() == 0  # dropped, yet the queue drained
+            stats = client.stats()
+            assert stats["ingest_errors"] == 1
+            assert "append" in stats["last_ingest_error"]
+            # The daemon keeps checking later submissions.
+            client.submit_many(anomaly_txns("dirty-read"))
+            result = client.finalize()
+        assert not result.is_valid
+
+    def test_backpressure_small_queue(self, start_service):
+        handle = start_service(queue_capacity=4, batch_size=3)
+        history = generate_default_history(
+            WorkloadSpec(n_sessions=4, n_transactions=150, ops_per_txn=4, n_keys=40, seed=7)
+        )
+        txns = transactions_in_commit_order(history)
+        with connect(handle) as client:
+            client.submit_many(txns, ack=False)  # admission via TCP only
+            assert client.drain() == len(txns)
+            assert client.stats()["processed"] == len(txns)
+
+    def test_unix_socket_listener(self, start_service, tmp_path):
+        sock_path = tmp_path / "daemon.sock"
+        handle = start_service(port=None, unix_path=sock_path)
+        client = CheckerClient(unix_path=sock_path)
+        client.connect()
+        with client:
+            client.submit_many(anomaly_txns("fractured-read"))
+            result = client.finalize()
+        assert not result.is_valid
+
+    def test_gc_between_batches(self, start_service):
+        handle = start_service(gc_threshold=50, gc_keep_recent=20, batch_size=25)
+        history = generate_default_history(
+            WorkloadSpec(n_sessions=6, n_transactions=400, ops_per_txn=4, n_keys=60, seed=9)
+        )
+        txns = transactions_in_commit_order(history)
+        with connect(handle) as client:
+            client.submit_many(txns)
+            client.drain()
+            stats = client.stats()
+        assert stats["gc"]["cycles"] >= 1
+        assert stats["resident_txns"] < len(txns)
+
+    def test_wire_shutdown_is_graceful(self, start_service):
+        handle = start_service()
+        txns = anomaly_txns("long-fork")
+        client = connect(handle)
+        client.submit_many(txns)
+        final = client.shutdown()
+        assert not final.is_valid and set(final.counts()) == {Axiom.EXT}
+        client.close()
+        # The daemon exited; new connections are refused.
+        host, port = handle.tcp_address
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            try:
+                CheckerClient(host, port, timeout=0.5).connect()
+            except OSError:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("daemon still accepting connections after shutdown")
+        assert handle.stop().violations == final.violations
+
+    def test_subscriber_sees_final_result_on_shutdown(self, start_service):
+        handle = start_service()
+        subscriber = connect(handle)
+        subscriber.subscribe()
+        with connect(handle) as producer:
+            producer.submit_many(anomaly_txns("dirty-read"))
+            producer.shutdown()
+        # EXT only finalizes at shutdown; the push precedes the result.
+        message = subscriber._read_until("result")
+        assert result_from_dict(message).counts() == {Axiom.EXT: 1}
+        assert len(subscriber.pushed) == 1
+        subscriber.close()
+
+    def test_replay_helper_reports(self, start_service):
+        handle = start_service()
+        txns = anomaly_txns("stale-sequential-read")
+        with connect(handle) as client:
+            report = replay_transactions(
+                client, txns, batch_size=2, arrival_tps=500.0, finalize=True
+            )
+        assert report.sent == len(txns)
+        assert report.batches == 2
+        assert report.wire_tps > 0
+        assert report.stats["processed"] == len(txns)
+        assert report.result is not None and not report.result.is_valid
+
+
+# ----------------------------------------------------------------------
+# The differential acceptance claim
+# ----------------------------------------------------------------------
+
+def in_process_verdicts(txns, *, level="si", n_shards=1):
+    config = AionConfig(timeout=float("inf"))
+    if n_shards > 1:
+        checker = ShardedAion(config, n_shards=n_shards, clock=lambda: 0.0)
+    elif level == "si":
+        checker = Aion(config, clock=lambda: 0.0)
+    else:
+        checker = AionSer(config, clock=lambda: 0.0)
+    try:
+        checker.receive_many(list(txns))
+        return normalize_violations(checker.finalize())
+    finally:
+        checker.close()
+
+
+def service_verdicts(start_service, txns, *, n_shards=1, level="si", n_clients=3, batch=2):
+    """Feed ``txns`` through ``n_clients`` concurrent connections.
+
+    Sessions are partitioned across clients (each client ships its
+    sessions in order, as any session-order-preserving producer must);
+    interleaving *between* sessions is whatever the scheduler does.
+    """
+    handle = start_service(n_shards=n_shards, level=level, batch_size=7)
+    by_client = [[] for _ in range(n_clients)]
+    for txn in txns:
+        by_client[txn.sid % n_clients].append(txn)
+    errors = []
+
+    def produce(mine):
+        try:
+            with connect(handle) as client:
+                for offset in range(0, len(mine), batch):
+                    client.submit_many(mine[offset : offset + batch])
+        except Exception as exc:  # pragma: no cover - surfaced via assert
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=produce, args=(mine,)) for mine in by_client if mine
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors
+    with connect(handle) as control:
+        result = control.finalize()
+    return normalize_violations(result)
+
+
+class TestServiceDifferential:
+    @pytest.mark.parametrize("name", sorted(ANOMALY_CATALOG))
+    @pytest.mark.parametrize("n_shards", [1, 2])
+    def test_anomaly_catalog(self, start_service, name, n_shards):
+        txns = anomaly_txns(name)
+        expected = in_process_verdicts(txns, n_shards=n_shards)
+        # Sanity: sharded == plain in-process before the wire enters.
+        assert expected == in_process_verdicts(txns, n_shards=1)
+        got = service_verdicts(start_service, txns, n_shards=n_shards)
+        assert got == expected
+        spec = ANOMALY_CATALOG[name]
+        if spec.si_axiom is not None:
+            assert any(item[0] == spec.si_axiom.value for item in got)
+        elif spec.si_admissible:
+            assert got == set()
+
+    def test_fault_injected_workload(self, start_service):
+        history = generate_default_history(
+            WorkloadSpec(n_sessions=9, n_transactions=300, ops_per_txn=6, n_keys=50, seed=31)
+        )
+        injector = HistoryFaultInjector(history, seed=5)
+        injector.inject_mix(6)
+        txns = transactions_in_commit_order(injector.build())
+        expected = in_process_verdicts(txns)
+        assert expected, "fault injection should produce violations"
+        for n_shards in (1, 2):
+            got = service_verdicts(
+                start_service, txns, n_shards=n_shards, n_clients=4, batch=11
+            )
+            assert got == expected
+
+    def test_ser_level(self, start_service):
+        txns = anomaly_txns("write-skew")
+        expected = in_process_verdicts(txns, level="ser")
+        got = service_verdicts(start_service, txns, level="ser", n_clients=2)
+        assert got == expected
+        assert got, "write skew must be flagged under SER"
+
+
+# ----------------------------------------------------------------------
+# CLI integration: a real daemon process, driven over a unix socket
+# ----------------------------------------------------------------------
+
+class TestCliServeReplay:
+    def test_serve_replay_roundtrip(self, tmp_path):
+        from repro.cli import main
+
+        sock = tmp_path / "daemon.sock"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--no-tcp", "--unix", str(sock),
+             "--timeout", "inf"],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 20.0
+            while not sock.exists():
+                assert proc.poll() is None, proc.stdout.read()
+                assert time.monotonic() < deadline, "daemon never bound its socket"
+                time.sleep(0.05)
+            rc = main(
+                ["replay", "--anomaly", "lost-update", "--unix", str(sock),
+                 "--expect", "violation", "--shutdown"]
+            )
+            assert rc == 0
+            assert proc.wait(timeout=20) == 0
+            output = proc.stdout.read()
+            assert "listening on unix:" in output
+            assert "NOCONFLICT=1" in output
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+    def test_replay_expect_mismatch_fails(self, tmp_path):
+        from repro.cli import main
+
+        sock = tmp_path / "daemon.sock"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--no-tcp", "--unix", str(sock),
+             "--timeout", "inf"],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 20.0
+            while not sock.exists():
+                assert proc.poll() is None
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+            rc = main(
+                ["replay", "--anomaly", "dirty-read", "--unix", str(sock),
+                 "--expect", "valid", "--shutdown"]
+            )
+            assert rc == 1  # the verdict is a violation, not valid
+            assert proc.wait(timeout=20) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
