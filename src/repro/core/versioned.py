@@ -6,10 +6,15 @@ support[ing] timestamp-based search, returning the latest version before a
 given timestamp".  Materializing a full map image per timestamp would be
 quadratic; these classes store the equivalent information *per key*:
 
-- :class:`VersionedFrontier` — for every key, a sorted map
-  ``commit_ts -> (value, tid)``.  ``frontier_ts[ts][k]`` of the paper is
-  exactly :meth:`VersionedFrontier.latest_at` (greatest version with
-  ``commit_ts <= ts``); the strict variant serves Aion-SER.
+- :class:`VersionedFrontier` — for every key, versions ordered by commit
+  timestamp, ``commit_ts -> (value, tid)``.  ``frontier_ts[ts][k]`` of
+  the paper is exactly :meth:`VersionedFrontier.latest_at` (greatest
+  version with ``commit_ts <= ts``); the strict variant serves Aion-SER.
+  Keys with at most a handful of versions — the overwhelming majority
+  under skewed workloads — are kept in a pair of plain parallel lists
+  and only *promoted* to a :class:`~repro.util.sortedmap.SortedMap`
+  when they outgrow the threshold, skipping the container object and
+  method-dispatch overhead on the cold-key fast path.
 - :class:`WriterIntervals` — for every key, the lifetimes
   ``[start_ts, commit_ts]`` of its writers; ``ongoing_ts[ts][k]`` is the
   set of intervals containing ``ts``, and NOCONFLICT re-checking (step ②)
@@ -24,6 +29,7 @@ reloaded segments (the ``GARBAGE COLLECT`` / reload-on-demand protocol).
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.util.intervals import Interval, IntervalIndex
@@ -33,14 +39,28 @@ __all__ = ["FrontierVersion", "VersionedFrontier", "WriterIntervals", "ExtReadIn
 
 FrontierVersion = Tuple[int, Any, int]  # (commit_ts, value, writer tid)
 
+#: Keys stay in the small-key representation (a ``(ts_list, payload_list)``
+#: pair of plain parallel lists) until they hold more versions than this;
+#: then they are promoted to a SortedMap.  Under the skewed key
+#: distributions real workloads produce, most keys never promote.
+_SMALL_MAX = 8
+
 
 class VersionedFrontier:
-    """Per-key committed versions ordered by commit timestamp."""
+    """Per-key committed versions ordered by commit timestamp.
+
+    ``_by_key`` maps a key either to a ``(ts_list, payload_list)`` tuple
+    of parallel sorted lists (the adaptive small-key representation) or,
+    once the key accumulates more than ``_SMALL_MAX`` versions, to a
+    :class:`SortedMap`.  All public methods branch on the representation;
+    the small path is a single C-speed bisect on a short list with no
+    container-object indirection.
+    """
 
     __slots__ = ("_by_key", "_n_versions")
 
     def __init__(self) -> None:
-        self._by_key: Dict[str, SortedMap] = {}
+        self._by_key: Dict[str, Any] = {}
         self._n_versions = 0
 
     def __len__(self) -> int:
@@ -49,17 +69,38 @@ class VersionedFrontier:
     def insert(self, key: str, commit_ts: int, value: Any, tid: int) -> None:
         """Record that ``tid`` committed ``value`` for ``key`` at ``commit_ts``."""
         versions = self._by_key.get(key)
+        payload = (value, tid)
         if versions is None:
-            versions = self._by_key[key] = SortedMap()
-        if commit_ts not in versions:
+            self._by_key[key] = ([commit_ts], [payload])
             self._n_versions += 1
-        versions[commit_ts] = (value, tid)
+            return
+        if type(versions) is tuple:
+            timestamps, payloads = versions
+            j = bisect_left(timestamps, commit_ts)
+            if j < len(timestamps) and timestamps[j] == commit_ts:
+                payloads[j] = payload
+                return
+            timestamps.insert(j, commit_ts)
+            payloads.insert(j, payload)
+            self._n_versions += 1
+            if len(timestamps) > _SMALL_MAX:
+                self._by_key[key] = SortedMap._from_sorted(timestamps, payloads)
+            return
+        if not versions.set_item(commit_ts, payload):
+            self._n_versions += 1
 
     def latest_at(self, key: str, ts: int) -> Optional[FrontierVersion]:
         """Greatest version with ``commit_ts <= ts`` (SI visibility, Def. 6)."""
         versions = self._by_key.get(key)
         if versions is None:
             return None
+        if type(versions) is tuple:
+            timestamps, payloads = versions
+            j = bisect_right(timestamps, ts) - 1
+            if j < 0:
+                return None
+            value, tid = payloads[j]
+            return (timestamps[j], value, tid)
         item = versions.floor_item(ts)
         if item is None:
             return None
@@ -76,6 +117,12 @@ class VersionedFrontier:
         versions = self._by_key.get(key)
         if versions is None:
             return default
+        if type(versions) is tuple:
+            timestamps = versions[0]
+            j = bisect_right(timestamps, ts) - 1
+            if j < 0:
+                return default
+            return versions[1][j][0]
         item = versions.floor_item(ts)
         if item is None:
             return default
@@ -86,6 +133,13 @@ class VersionedFrontier:
         versions = self._by_key.get(key)
         if versions is None:
             return None
+        if type(versions) is tuple:
+            timestamps, payloads = versions
+            j = bisect_left(timestamps, ts) - 1
+            if j < 0:
+                return None
+            value, tid = payloads[j]
+            return (timestamps[j], value, tid)
         item = versions.lower_item(ts)
         if item is None:
             return None
@@ -97,6 +151,13 @@ class VersionedFrontier:
         versions = self._by_key.get(key)
         if versions is None:
             return None
+        if type(versions) is tuple:
+            timestamps, payloads = versions
+            j = bisect_right(timestamps, ts)
+            if j == len(timestamps):
+                return None
+            value, tid = payloads[j]
+            return (timestamps[j], value, tid)
         item = versions.higher_item(ts)
         if item is None:
             return None
@@ -109,13 +170,36 @@ class VersionedFrontier:
         """Insert a version and return the one overwriting it, in one pass.
 
         Equivalent to :meth:`next_after` followed by :meth:`insert`, but a
-        single skiplist descent — the exact pair of operations step ③
-        performs per written key.
+        single descent — the exact pair of operations step ③ performs per
+        written key.
         """
         versions = self._by_key.get(key)
+        payload = (value, tid)
         if versions is None:
-            versions = self._by_key[key] = SortedMap()
-        was_present, nxt = versions.set_and_higher(commit_ts, (value, tid))
+            self._by_key[key] = ([commit_ts], [payload])
+            self._n_versions += 1
+            return None
+        if type(versions) is tuple:
+            timestamps, payloads = versions
+            j = bisect_left(timestamps, commit_ts)
+            n = len(timestamps)
+            if j < n and timestamps[j] == commit_ts:
+                payloads[j] = payload
+            else:
+                timestamps.insert(j, commit_ts)
+                payloads.insert(j, payload)
+                self._n_versions += 1
+                n += 1
+            if j + 1 < n:
+                next_ts = timestamps[j + 1]
+                next_value, next_tid = payloads[j + 1]
+                result = (next_ts, next_value, next_tid)
+            else:
+                result = None
+            if n > _SMALL_MAX:
+                self._by_key[key] = SortedMap._from_sorted(timestamps, payloads)
+            return result
+        was_present, nxt = versions.set_and_higher(commit_ts, payload)
         if not was_present:
             self._n_versions += 1
         if nxt is None:
@@ -134,12 +218,23 @@ class VersionedFrontier:
         """
         evicted: Dict[str, List[Tuple[int, Any, int]]] = {}
         for key, versions in self._by_key.items():
-            removed = versions.pop_below(ts, inclusive=True)
-            if not removed:
-                continue
-            keep_ts, keep_payload = removed[-1]
-            versions[keep_ts] = keep_payload
-            removed = removed[:-1]
+            if type(versions) is tuple:
+                timestamps, payloads = versions
+                j = bisect_right(timestamps, ts)
+                if j < 2:
+                    # Zero or one evictable version: the newest evictable
+                    # one stays, so nothing leaves memory.
+                    continue
+                removed = list(zip(timestamps[: j - 1], payloads[: j - 1]))
+                del timestamps[: j - 1]
+                del payloads[: j - 1]
+            else:
+                popped = versions.pop_below(ts, inclusive=True)
+                if not popped:
+                    continue
+                keep_ts, keep_payload = popped[-1]
+                versions[keep_ts] = keep_payload
+                removed = popped[:-1]
             if removed:
                 evicted[key] = [(cts, value, tid) for cts, (value, tid) in removed]
                 self._n_versions -= len(removed)
@@ -155,9 +250,15 @@ class VersionedFrontier:
         """Smallest version timestamp still in memory, across all keys."""
         smallest: Optional[int] = None
         for versions in self._by_key.values():
-            if len(versions) == 0:
-                continue
-            ts, _ = versions.min_item()
+            if type(versions) is tuple:
+                timestamps = versions[0]
+                if not timestamps:
+                    continue
+                ts = timestamps[0]
+            else:
+                if len(versions) == 0:
+                    continue
+                ts, _ = versions.min_item()
             if smallest is None or ts < smallest:
                 smallest = ts
         return smallest
@@ -237,11 +338,9 @@ class ExtReadIndex:
         index = self._by_key.get(key)
         if index is None:
             index = self._by_key[key] = SortedMap()
-        readers = index.get(snapshot_ts)
-        if readers is None:
-            index[snapshot_ts] = [(tid, actual)]
-        else:
-            readers.append((tid, actual))
+        # Single-descent get-or-insert: the reader list for a fresh
+        # snapshot point is created and located in one chunk search.
+        index.setdefault(snapshot_ts, []).append((tid, actual))
         self._n_reads += 1
 
     def remove(self, key: str, snapshot_ts: int, tid: int) -> None:

@@ -3,7 +3,7 @@
 These modules have no dependencies on the rest of :mod:`repro` and provide
 the data-structure substrate the checkers are built on:
 
-- :mod:`repro.util.sortedmap` — a skiplist-backed sorted map with floor /
+- :mod:`repro.util.sortedmap` — a two-level bisect-backed sorted map with floor /
   ceiling queries, used for Aion's timestamp-versioned structures and the
   incremental event timeline.
 - :mod:`repro.util.intervals` — a per-key interval index with overlap

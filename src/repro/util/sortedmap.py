@@ -1,11 +1,21 @@
-"""A skiplist-backed sorted map with floor/ceiling queries.
+"""A two-level bisect-backed sorted map with floor/ceiling queries.
 
 Aion (Algorithm 3 in the paper) must insert transactions into an already
 sorted timeline and answer "latest version before timestamp ``ts``" queries
 against its versioned ``frontier_ts`` / ``ongoing_ts`` structures.  The
-paper suggests a balanced binary search tree; a skiplist offers the same
-expected ``O(log n)`` bounds with a considerably simpler implementation and
-no rebalancing, which keeps the hot path short in pure Python.
+paper suggests a balanced binary search tree; this implementation uses the
+flat layout popularized by ``sortedcontainers`` instead — a list of
+bounded, individually sorted key chunks plus a ``maxes`` index holding
+each chunk's greatest key — because in CPython the constant factor is the
+whole game: every operation bottoms out in C-speed :func:`bisect.bisect`
+calls and ``list`` splices over contiguous pointer arrays, where a linked
+structure (the previous generation of this module was a Pugh skiplist)
+pays a Python-level object dereference per visited node.
+
+Chunks split at ``2 * _LOAD`` entries, keeping every descent a pair of
+bisects (one over ``maxes``, one inside a chunk); a chunk that empties is
+dropped.  Deletions never split, so the chunk count is bounded by the
+insert history and lookups stay ``O(log n)``.
 
 The map stores unique, mutually comparable keys.  Beyond the usual mapping
 operations it supports:
@@ -16,37 +26,35 @@ operations it supports:
   variants;
 - :meth:`SortedMap.irange` — ordered iteration over a key range, the
   primitive behind Aion's re-checking sweeps;
-- :meth:`SortedMap.pop_below` — bulk removal used by garbage collection.
+- :meth:`SortedMap.pop_below` — bulk removal used by garbage collection,
+  which splices whole chunks instead of deleting keys one at a time;
+- :meth:`SortedMap.set_item` — single-descent insert reporting whether
+  the key was already present;
+- :meth:`SortedMap.set_and_higher` — fused insert + successor lookup for
+  Aion's step ③.
 """
 
 from __future__ import annotations
 
-import random
+from bisect import bisect_left, bisect_right
 from typing import Any, Iterable, Iterator, Optional, Tuple
 
 __all__ = ["SortedMap"]
 
-_MAX_LEVEL = 32
-_P = 0.5
-
-
-class _Node:
-    """A skiplist tower holding one key/value pair."""
-
-    __slots__ = ("key", "value", "forward")
-
-    def __init__(self, key: Any, value: Any, level: int) -> None:
-        self.key = key
-        self.value = value
-        self.forward: list[Optional[_Node]] = [None] * level
+#: Chunks split once they exceed ``2 * _LOAD`` entries.  1024 keeps the
+#: common per-key maps (a handful of versions) in a single plain list
+#: while bounding splice cost for the large global maps.
+_LOAD = 1024
+_SPLIT = 2 * _LOAD
 
 
 class SortedMap:
     """A mutable mapping whose keys are kept in sorted order.
 
-    The implementation is a classic Pugh skiplist.  All single-item
-    operations (get, set, delete, floor, ceiling) run in expected
-    ``O(log n)``; in-order iteration is ``O(n)``.
+    Keys live in ``_keys`` (a list of sorted chunks) with values in the
+    parallel ``_vals`` chunks; ``_maxes[i]`` caches ``_keys[i][-1]``.
+    All single-item operations (get, set, delete, floor, ceiling) run in
+    ``O(log n)`` with C-speed constants; in-order iteration is ``O(n)``.
 
     >>> m = SortedMap()
     >>> m[10] = "a"; m[20] = "b"; m[30] = "c"
@@ -56,15 +64,15 @@ class SortedMap:
     [(20, 'b'), (30, 'c')]
     """
 
-    __slots__ = ("_head", "_level", "_len", "_rng")
+    __slots__ = ("_keys", "_vals", "_maxes", "_len")
 
-    def __init__(self, items: Optional[Iterable[Tuple[Any, Any]]] = None, *, seed: int = 0x5EED) -> None:
-        self._head = _Node(None, None, _MAX_LEVEL)
-        self._level = 1
+    def __init__(self, items: Optional[Iterable[Tuple[Any, Any]]] = None, *, seed: int = 0) -> None:
+        # ``seed`` is accepted for compatibility with the skiplist-era
+        # constructor; the flat layout is deterministic without one.
+        self._keys: list[list] = []
+        self._vals: list[list] = []
+        self._maxes: list = []
         self._len = 0
-        # A private RNG keeps tower heights deterministic for a given
-        # insertion sequence, which makes benchmarks reproducible.
-        self._rng = random.Random(seed)
         if items is not None:
             for key, value in items:
                 self[key] = value
@@ -80,40 +88,77 @@ class SortedMap:
         return self._len > 0
 
     def __contains__(self, key: Any) -> bool:
-        node = self._find_equal(key)
-        return node is not None
+        maxes = self._maxes
+        if not maxes:
+            return False
+        ci = bisect_left(maxes, key)
+        if ci == len(maxes):
+            return False
+        chunk = self._keys[ci]
+        j = bisect_left(chunk, key)
+        return chunk[j] == key
 
     def __getitem__(self, key: Any) -> Any:
-        node = self._find_equal(key)
-        if node is None:
-            raise KeyError(key)
-        return node.value
+        maxes = self._maxes
+        if maxes:
+            ci = bisect_left(maxes, key)
+            if ci != len(maxes):
+                chunk = self._keys[ci]
+                j = bisect_left(chunk, key)
+                if chunk[j] == key:
+                    return self._vals[ci][j]
+        raise KeyError(key)
 
     def get(self, key: Any, default: Any = None) -> Any:
-        node = self._find_equal(key)
-        return default if node is None else node.value
+        maxes = self._maxes
+        if not maxes:
+            return default
+        ci = bisect_left(maxes, key)
+        if ci == len(maxes):
+            return default
+        chunk = self._keys[ci]
+        j = bisect_left(chunk, key)
+        if chunk[j] == key:
+            return self._vals[ci][j]
+        return default
 
-    def __setitem__(self, key: Any, value: Any) -> None:
-        update: list[_Node] = [self._head] * _MAX_LEVEL
-        node = self._head
-        for level in range(self._level - 1, -1, -1):
-            nxt = node.forward[level]
-            while nxt is not None and nxt.key < key:
-                node = nxt
-                nxt = node.forward[level]
-            update[level] = node
-        candidate = node.forward[0]
-        if candidate is not None and candidate.key == key:
-            candidate.value = value
-            return
-        height = self._random_level()
-        if height > self._level:
-            self._level = height
-        new_node = _Node(key, value, height)
-        for level in range(height):
-            new_node.forward[level] = update[level].forward[level]
-            update[level].forward[level] = new_node
+    def set_item(self, key: Any, value: Any) -> bool:
+        """Insert (or overwrite) ``key`` in one descent.
+
+        Returns ``was_present`` — whether the key already existed.  The
+        versioned frontier needs exactly this to maintain its version
+        count without a separate ``key in map`` probe.  Subscript
+        assignment is this same method (the return value is ignored).
+        """
+        maxes = self._maxes
+        if not maxes:
+            self._keys.append([key])
+            self._vals.append([value])
+            maxes.append(key)
+            self._len = 1
+            return False
+        ci = bisect_left(maxes, key)
+        if ci == len(maxes):
+            # Greater than every stored key: append to the last chunk.
+            ci -= 1
+            chunk = self._keys[ci]
+            chunk.append(key)
+            self._vals[ci].append(value)
+            maxes[ci] = key
+        else:
+            chunk = self._keys[ci]
+            j = bisect_left(chunk, key)
+            if chunk[j] == key:
+                self._vals[ci][j] = value
+                return True
+            chunk.insert(j, key)
+            self._vals[ci].insert(j, value)
         self._len += 1
+        if len(chunk) > _SPLIT:
+            self._split(ci)
+        return False
+
+    __setitem__ = set_item
 
     def set_and_higher(self, key: Any, value: Any) -> Tuple[bool, Optional[Tuple[Any, Any]]]:
         """Insert (or overwrite) ``key`` and return its successor in one descent.
@@ -122,72 +167,129 @@ class SortedMap:
         whether ``key`` already existed and ``higher_item`` is the item
         with the least key ``> key`` (or None).  Aion's step ③ needs both
         the insertion and the next-version lookup at the same point of the
-        timeline; fusing them halves the skiplist descents on the ingest
-        hot path.
+        timeline; fusing them halves the descents on the ingest hot path.
         """
-        update: list[_Node] = [self._head] * _MAX_LEVEL
-        node = self._head
-        for level in range(self._level - 1, -1, -1):
-            nxt = node.forward[level]
-            while nxt is not None and nxt.key < key:
-                node = nxt
-                nxt = node.forward[level]
-            update[level] = node
-        candidate = node.forward[0]
-        if candidate is not None and candidate.key == key:
-            candidate.value = value
-            successor = candidate.forward[0]
-            return True, None if successor is None else (successor.key, successor.value)
-        height = self._random_level()
-        if height > self._level:
-            self._level = height
-        new_node = _Node(key, value, height)
-        for level in range(height):
-            new_node.forward[level] = update[level].forward[level]
-            update[level].forward[level] = new_node
-        self._len += 1
-        successor = new_node.forward[0]
-        return False, None if successor is None else (successor.key, successor.value)
+        maxes = self._maxes
+        if not maxes:
+            self._keys.append([key])
+            self._vals.append([value])
+            maxes.append(key)
+            self._len = 1
+            return False, None
+        ci = bisect_left(maxes, key)
+        if ci == len(maxes):
+            # New global maximum: no successor.
+            ci -= 1
+            chunk = self._keys[ci]
+            chunk.append(key)
+            self._vals[ci].append(value)
+            maxes[ci] = key
+            self._len += 1
+            if len(chunk) > _SPLIT:
+                self._split(ci)
+            return False, None
+        chunk = self._keys[ci]
+        vals = self._vals[ci]
+        j = bisect_left(chunk, key)
+        if chunk[j] == key:
+            vals[j] = value
+            was_present = True
+        else:
+            chunk.insert(j, key)
+            vals.insert(j, value)
+            self._len += 1
+            was_present = False
+        nxt = j + 1
+        if nxt < len(chunk):
+            successor = (chunk[nxt], vals[nxt])
+        elif ci + 1 < len(self._keys):
+            successor = (self._keys[ci + 1][0], self._vals[ci + 1][0])
+        else:
+            successor = None
+        if len(chunk) > _SPLIT:
+            self._split(ci)
+        return was_present, successor
 
     def __delitem__(self, key: Any) -> None:
-        update: list[_Node] = [self._head] * _MAX_LEVEL
-        node = self._head
-        for level in range(self._level - 1, -1, -1):
-            nxt = node.forward[level]
-            while nxt is not None and nxt.key < key:
-                node = nxt
-                nxt = node.forward[level]
-            update[level] = node
-        target = node.forward[0]
-        if target is None or target.key != key:
-            raise KeyError(key)
-        for level in range(len(target.forward)):
-            if update[level].forward[level] is target:
-                update[level].forward[level] = target.forward[level]
-        while self._level > 1 and self._head.forward[self._level - 1] is None:
-            self._level -= 1
-        self._len -= 1
+        maxes = self._maxes
+        if maxes:
+            ci = bisect_left(maxes, key)
+            if ci != len(maxes):
+                chunk = self._keys[ci]
+                j = bisect_left(chunk, key)
+                if chunk[j] == key:
+                    del chunk[j]
+                    del self._vals[ci][j]
+                    self._len -= 1
+                    if not chunk:
+                        del self._keys[ci]
+                        del self._vals[ci]
+                        del maxes[ci]
+                    elif j == len(chunk):
+                        maxes[ci] = chunk[-1]
+                    return
+        raise KeyError(key)
 
     def pop(self, key: Any, *default: Any) -> Any:
-        node = self._find_equal(key)
-        if node is None:
-            if default:
-                return default[0]
-            raise KeyError(key)
-        value = node.value
-        del self[key]
-        return value
+        maxes = self._maxes
+        if maxes:
+            ci = bisect_left(maxes, key)
+            if ci != len(maxes):
+                chunk = self._keys[ci]
+                j = bisect_left(chunk, key)
+                if chunk[j] == key:
+                    value = self._vals[ci][j]
+                    del chunk[j]
+                    del self._vals[ci][j]
+                    self._len -= 1
+                    if not chunk:
+                        del self._keys[ci]
+                        del self._vals[ci]
+                        del maxes[ci]
+                    elif j == len(chunk):
+                        maxes[ci] = chunk[-1]
+                    return value
+        if default:
+            return default[0]
+        raise KeyError(key)
 
     def setdefault(self, key: Any, default: Any) -> Any:
-        node = self._find_equal(key)
-        if node is not None:
-            return node.value
-        self[key] = default
+        """Return ``map[key]``, inserting ``default`` first if absent.
+
+        A single descent either way — the external-read index relies on
+        this to append to a per-snapshot reader list without paying a
+        second chunk search on the miss path.
+        """
+        maxes = self._maxes
+        if not maxes:
+            self._keys.append([key])
+            self._vals.append([default])
+            maxes.append(key)
+            self._len = 1
+            return default
+        ci = bisect_left(maxes, key)
+        if ci == len(maxes):
+            ci -= 1
+            chunk = self._keys[ci]
+            chunk.append(key)
+            self._vals[ci].append(default)
+            maxes[ci] = key
+        else:
+            chunk = self._keys[ci]
+            j = bisect_left(chunk, key)
+            if chunk[j] == key:
+                return self._vals[ci][j]
+            chunk.insert(j, key)
+            self._vals[ci].insert(j, default)
+        self._len += 1
+        if len(chunk) > _SPLIT:
+            self._split(ci)
         return default
 
     def clear(self) -> None:
-        self._head = _Node(None, None, _MAX_LEVEL)
-        self._level = 1
+        self._keys = []
+        self._vals = []
+        self._maxes = []
         self._len = 0
 
     # ------------------------------------------------------------------
@@ -196,55 +298,71 @@ class SortedMap:
 
     def min_item(self) -> Tuple[Any, Any]:
         """Return the smallest (key, value) pair; raise KeyError if empty."""
-        first = self._head.forward[0]
-        if first is None:
+        if not self._maxes:
             raise KeyError("min_item(): map is empty")
-        return first.key, first.value
+        return self._keys[0][0], self._vals[0][0]
 
     def max_item(self) -> Tuple[Any, Any]:
         """Return the largest (key, value) pair; raise KeyError if empty."""
-        node = self._head
-        for level in range(self._level - 1, -1, -1):
-            nxt = node.forward[level]
-            while nxt is not None:
-                node = nxt
-                nxt = node.forward[level]
-        if node is self._head:
+        if not self._maxes:
             raise KeyError("max_item(): map is empty")
-        return node.key, node.value
+        return self._keys[-1][-1], self._vals[-1][-1]
 
     def floor_item(self, key: Any) -> Optional[Tuple[Any, Any]]:
         """Return the item with the greatest key ``<= key``, or None."""
-        node = self._predecessor(key)
-        candidate = node.forward[0]
-        if candidate is not None and candidate.key == key:
-            return candidate.key, candidate.value
-        if node is self._head:
+        maxes = self._maxes
+        if not maxes:
             return None
-        return node.key, node.value
+        ci = bisect_left(maxes, key)
+        if ci == len(maxes):
+            return self._keys[-1][-1], self._vals[-1][-1]
+        chunk = self._keys[ci]
+        j = bisect_right(chunk, key) - 1
+        if j >= 0:
+            return chunk[j], self._vals[ci][j]
+        if ci:
+            return self._keys[ci - 1][-1], self._vals[ci - 1][-1]
+        return None
 
     def lower_item(self, key: Any) -> Optional[Tuple[Any, Any]]:
         """Return the item with the greatest key ``< key``, or None."""
-        node = self._predecessor(key)
-        if node is self._head:
+        maxes = self._maxes
+        if not maxes:
             return None
-        return node.key, node.value
+        ci = bisect_left(maxes, key)
+        if ci == len(maxes):
+            return self._keys[-1][-1], self._vals[-1][-1]
+        chunk = self._keys[ci]
+        j = bisect_left(chunk, key) - 1
+        if j >= 0:
+            return chunk[j], self._vals[ci][j]
+        if ci:
+            return self._keys[ci - 1][-1], self._vals[ci - 1][-1]
+        return None
 
     def ceiling_item(self, key: Any) -> Optional[Tuple[Any, Any]]:
         """Return the item with the least key ``>= key``, or None."""
-        node = self._predecessor(key).forward[0]
-        if node is None:
+        maxes = self._maxes
+        if not maxes:
             return None
-        return node.key, node.value
+        ci = bisect_left(maxes, key)
+        if ci == len(maxes):
+            return None
+        chunk = self._keys[ci]
+        j = bisect_left(chunk, key)
+        return chunk[j], self._vals[ci][j]
 
     def higher_item(self, key: Any) -> Optional[Tuple[Any, Any]]:
         """Return the item with the least key ``> key``, or None."""
-        node = self._predecessor(key).forward[0]
-        if node is not None and node.key == key:
-            node = node.forward[0]
-        if node is None:
+        maxes = self._maxes
+        if not maxes:
             return None
-        return node.key, node.value
+        ci = bisect_right(maxes, key)
+        if ci == len(maxes):
+            return None
+        chunk = self._keys[ci]
+        j = bisect_right(chunk, key)
+        return chunk[j], self._vals[ci][j]
 
     def irange(
         self,
@@ -257,50 +375,81 @@ class SortedMap:
 
         ``low=None`` / ``high=None`` leave that side unbounded; the
         ``inclusive`` pair controls closed/open endpoints, mirroring
-        ``sortedcontainers.SortedDict.irange``.
+        ``sortedcontainers.SortedDict.irange``.  Both endpoints are
+        located by bisection, so a narrow sweep inside a large map costs
+        ``O(log n + yielded)``.
         """
+        maxes = self._maxes
+        if not maxes:
+            return
+        key_chunks = self._keys
+        val_chunks = self._vals
+        n_chunks = len(maxes)
         if low is None:
-            node = self._head.forward[0]
+            ci, j = 0, 0
         else:
-            node = self._predecessor(low).forward[0]
-            if node is not None and not inclusive[0] and node.key == low:
-                node = node.forward[0]
-        while node is not None:
-            if high is not None:
-                if node.key > high:
+            ci = bisect_left(maxes, low)
+            if ci == n_chunks:
+                return
+            chunk = key_chunks[ci]
+            j = bisect_left(chunk, low) if inclusive[0] else bisect_right(chunk, low)
+            if j == len(chunk):
+                ci += 1
+                j = 0
+                if ci == n_chunks:
                     return
-                if not inclusive[1] and node.key == high:
-                    return
-            yield node.key, node.value
-            node = node.forward[0]
+        if high is None:
+            ce, je = n_chunks - 1, len(key_chunks[-1])
+        else:
+            ce = bisect_left(maxes, high)
+            if ce == n_chunks:
+                ce, je = n_chunks - 1, len(key_chunks[-1])
+            else:
+                chunk = key_chunks[ce]
+                je = bisect_right(chunk, high) if inclusive[1] else bisect_left(chunk, high)
+        if ci > ce or (ci == ce and j >= je):
+            return  # empty range (including low > high)
+        while True:
+            keys = key_chunks[ci]
+            vals = val_chunks[ci]
+            end = je if ci == ce else len(keys)
+            while j < end:
+                yield keys[j], vals[j]
+                j += 1
+            if ci >= ce:
+                return
+            ci += 1
+            j = 0
 
     def pop_below(self, key: Any, *, inclusive: bool = True) -> list[Tuple[Any, Any]]:
         """Remove and return every item with key ``<= key`` (or ``< key``).
 
         This is the garbage-collection primitive: Aion periodically evicts
         all versions below the GC-safe timestamp in one sweep, which this
-        method performs in ``O(removed + log n)`` by splicing the skiplist
+        method performs in ``O(removed + log n)`` by dropping whole chunks
         rather than deleting keys one at a time.
         """
+        maxes = self._maxes
+        if not maxes:
+            return []
+        key_chunks = self._keys
+        val_chunks = self._vals
+        # Chunks whose max falls inside the cut are removed wholesale.
+        ci = bisect_right(maxes, key) if inclusive else bisect_left(maxes, key)
         removed: list[Tuple[Any, Any]] = []
-        node = self._head.forward[0]
-        while node is not None:
-            if node.key > key or (not inclusive and node.key == key):
-                break
-            removed.append((node.key, node.value))
-            node = node.forward[0]
-        if not removed:
-            return removed
-        boundary = removed[-1][0]
-        # Splice every level past the last removed node.
-        walk = self._head
-        for level in range(self._level - 1, -1, -1):
-            nxt = walk.forward[level]
-            while nxt is not None and (nxt.key < boundary or nxt.key == boundary):
-                nxt = nxt.forward[level]
-            self._head.forward[level] = nxt
-        while self._level > 1 and self._head.forward[self._level - 1] is None:
-            self._level -= 1
+        for full in range(ci):
+            removed.extend(zip(key_chunks[full], val_chunks[full]))
+        if ci:
+            del key_chunks[:ci]
+            del val_chunks[:ci]
+            del maxes[:ci]
+        if key_chunks:
+            chunk = key_chunks[0]
+            j = bisect_right(chunk, key) if inclusive else bisect_left(chunk, key)
+            if j:
+                removed.extend(zip(chunk[:j], val_chunks[0][:j]))
+                del chunk[:j]
+                del val_chunks[0][:j]
         self._len -= len(removed)
         return removed
 
@@ -309,25 +458,21 @@ class SortedMap:
     # ------------------------------------------------------------------
 
     def __iter__(self) -> Iterator[Any]:
-        node = self._head.forward[0]
-        while node is not None:
-            yield node.key
-            node = node.forward[0]
+        for chunk in self._keys:
+            yield from chunk
 
     def keys(self) -> Iterator[Any]:
         return iter(self)
 
     def values(self) -> Iterator[Any]:
-        node = self._head.forward[0]
-        while node is not None:
-            yield node.value
-            node = node.forward[0]
+        for chunk in self._vals:
+            yield from chunk
 
     def items(self) -> Iterator[Tuple[Any, Any]]:
-        node = self._head.forward[0]
-        while node is not None:
-            yield node.key, node.value
-            node = node.forward[0]
+        for ci, chunk in enumerate(self._keys):
+            vals = self._vals[ci]
+            for j, key in enumerate(chunk):
+                yield key, vals[j]
 
     def __repr__(self) -> str:
         preview = ", ".join(f"{k!r}: {v!r}" for k, v in list(self.items())[:8])
@@ -338,24 +483,32 @@ class SortedMap:
     # Internals
     # ------------------------------------------------------------------
 
-    def _random_level(self) -> int:
-        level = 1
-        while level < _MAX_LEVEL and self._rng.random() < _P:
-            level += 1
-        return level
+    @classmethod
+    def _from_sorted(cls, keys: list, vals: list) -> "SortedMap":
+        """Build a map from already-sorted parallel key/value lists.
 
-    def _predecessor(self, key: Any) -> _Node:
-        """Return the last node with ``node.key < key`` (head if none)."""
-        node = self._head
-        for level in range(self._level - 1, -1, -1):
-            nxt = node.forward[level]
-            while nxt is not None and nxt.key < key:
-                node = nxt
-                nxt = node.forward[level]
-        return node
+        The lists are sliced straight into chunks with no per-key
+        descent — the ``O(n)`` promotion path for containers that
+        outgrow the versioned frontier's small-key representation.
+        """
+        m = cls()
+        if keys:
+            for lo in range(0, len(keys), _LOAD):
+                m._keys.append(keys[lo : lo + _LOAD])
+                m._vals.append(vals[lo : lo + _LOAD])
+                m._maxes.append(m._keys[-1][-1])
+            m._len = len(keys)
+        return m
 
-    def _find_equal(self, key: Any) -> Optional[_Node]:
-        node = self._predecessor(key).forward[0]
-        if node is not None and node.key == key:
-            return node
-        return None
+    def _split(self, ci: int) -> None:
+        """Split the oversized chunk at ``ci`` into two halves."""
+        keys = self._keys[ci]
+        vals = self._vals[ci]
+        half = len(keys) >> 1
+        self._keys[ci] = keys[:half]
+        self._vals[ci] = vals[:half]
+        self._keys.insert(ci + 1, keys[half:])
+        self._vals.insert(ci + 1, vals[half:])
+        # The right half keeps the old max; the left half's max is the
+        # last key it retained.
+        self._maxes.insert(ci, keys[half - 1])

@@ -25,7 +25,11 @@ from repro.online.runner import OnlineRunner
 from repro.workloads.generator import generate_default_history
 from repro.workloads.spec import WorkloadSpec
 
-from test_differential import session_respecting_shuffle, small_history
+from test_differential import (
+    session_respecting_shuffle,
+    small_history,
+    split_session_verdicts,
+)
 
 
 def aion_baseline(txns):
@@ -76,6 +80,32 @@ def test_anomaly_catalog_matches_aion(name, n_shards):
     history = ANOMALY_CATALOG[name].build()
     txns = list(history.transactions)
     assert sharded_verdicts(txns, n_shards=n_shards) == aion_baseline(txns)
+
+
+@pytest.mark.parametrize("name", sorted(ANOMALY_CATALOG))
+def test_anomaly_catalog_matches_chronos_oracle(name):
+    """The ordered-index engine must reproduce the offline Chronos
+    verdicts on every anomaly fixture, under several session-respecting
+    arrival orders and batch sizes.
+
+    Chronos shares none of the ordered-index code (SortedMap /
+    IntervalIndex / VersionedFrontier), so this is a true cross-engine
+    differential: a container regression cannot cancel out.
+    """
+    history = ANOMALY_CATALOG[name].build()
+    offline = split_session_verdicts(
+        normalize_violations(Chronos().check(history)), history
+    )
+    for shuffle_seed, batch_size in ((0, 1), (7, 4), (13, 64)):
+        arrival = session_respecting_shuffle(history, Random(shuffle_seed))
+        checker = Aion(AionConfig(timeout=float("inf")), clock=lambda: 0.0)
+        for offset in range(0, len(arrival), batch_size):
+            checker.receive_many(arrival[offset : offset + batch_size])
+        got = split_session_verdicts(
+            normalize_violations(checker.finalize()), history
+        )
+        checker.close()
+        assert got == offline, (name, shuffle_seed, batch_size)
 
 
 @pytest.mark.parametrize("n_shards", [1, 2, 4])

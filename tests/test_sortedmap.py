@@ -1,4 +1,4 @@
-"""Unit and model-based tests for the skiplist-backed SortedMap."""
+"""Unit and model-based tests for the bisect-backed SortedMap."""
 
 import pytest
 from hypothesis import given, settings
@@ -230,6 +230,164 @@ class SortedMapMachine(RuleBasedStateMachine):
 
 TestSortedMapStateful = SortedMapMachine.TestCase
 TestSortedMapStateful.settings = settings(max_examples=30, stateful_step_count=40, deadline=None)
+
+
+class TestChunkBoundaries:
+    """The two-level layout must behave identically across chunk splits."""
+
+    def test_multi_chunk_queries(self):
+        from random import Random
+
+        n = 6000  # forces several chunk splits (split threshold is 2048)
+        keys = list(range(0, 2 * n, 2))
+        Random(11).shuffle(keys)
+        m = SortedMap()
+        for k in keys:
+            m[k] = k
+        assert len(m) == n
+        assert list(m.keys()) == sorted(keys)
+        chunk_count = len(m._maxes)
+        assert chunk_count > 1, "test must span multiple chunks"
+        for probe in range(-1, 2 * n + 1, 7):
+            lo = probe - (probe % 2)  # greatest even <= probe
+            assert m.floor_item(probe) == ((lo, lo) if lo >= 0 else None)
+            hi = probe + 1 if probe % 2 else probe  # least even >= probe
+            expected = (hi, hi) if hi < 2 * n else None
+            assert m.ceiling_item(probe) == expected
+
+    def test_irange_inverted_bounds_empty(self):
+        # Regression: a low bound above the high bound must yield nothing,
+        # including when the two cursors land in different chunks.
+        m = SortedMap([(i, i) for i in range(5000)])
+        assert len(m._maxes) > 1
+        assert list(m.irange(4000, 100)) == []
+        assert list(m.irange(100, 100, inclusive=(True, False))) == []
+        assert list(m.irange(100, 99)) == []
+        assert list(m.irange(4999, 4000)) == []
+
+    def test_pop_below_drops_whole_chunks(self):
+        m = SortedMap([(i, i) for i in range(5000)])
+        n_chunks = len(m._maxes)
+        assert n_chunks >= 2
+        removed = m.pop_below(2499)
+        assert len(removed) == 2500
+        assert removed == [(i, i) for i in range(2500)]
+        assert m.min_item() == (2500, 2500)
+        assert list(m.keys()) == list(range(2500, 5000))
+
+    def test_delete_emptying_a_chunk(self):
+        m = SortedMap([(i, i) for i in range(4500)])
+        boundaries = [c[0] for c in m._keys]
+        # Empty the first chunk entirely, one delete at a time.
+        first_len = len(m._keys[0])
+        for i in range(first_len):
+            del m[i]
+        assert m.min_item()[0] == first_len
+        assert boundaries[1] in m
+        assert list(m.keys()) == list(range(first_len, 4500))
+
+
+class TestDifferentialOracle:
+    """Randomized differential test against a sorted-dict oracle.
+
+    Thousands of mixed operations (set / set_item / set_and_higher /
+    setdefault / del / floor / ceiling / lower / higher / irange /
+    pop_below) driven through both the chunked container and a plain
+    ``dict`` + sorted key list, asserting identical behaviour at every
+    step.  Key range and op count are sized to force chunk splits and
+    whole-chunk removals.
+    """
+
+    @pytest.mark.parametrize("seed", [101, 202, 303])
+    def test_mixed_ops_match_oracle(self, seed):
+        from bisect import bisect_left as bl, bisect_right as br, insort
+        from random import Random
+
+        rng = Random(seed)
+        m = SortedMap()
+        model: dict = {}
+        okeys: list = []  # sorted oracle keys
+
+        def oracle_add(k, v):
+            if k not in model:
+                insort(okeys, k)
+            model[k] = v
+
+        for step in range(4000):
+            op = rng.randrange(12)
+            k = rng.randrange(6000)
+            if op <= 2:
+                m[k] = ("set", k)
+                oracle_add(k, ("set", k))
+            elif op == 3:
+                was = m.set_item(k, ("si", k))
+                assert was == (k in model)
+                oracle_add(k, ("si", k))
+            elif op == 4:
+                j = br(okeys, k)
+                expected_next = (
+                    (okeys[j], model[okeys[j]]) if j < len(okeys) else None
+                )
+                was, nxt = m.set_and_higher(k, ("sah", k))
+                assert was == (k in model)
+                assert nxt == expected_next
+                oracle_add(k, ("sah", k))
+            elif op == 5:
+                got = m.setdefault(k, ("sd", k))
+                assert got == model.get(k, ("sd", k))
+                oracle_add(k, got)
+            elif op == 6:
+                if k in model:
+                    del m[k]
+                    del model[k]
+                    del okeys[bl(okeys, k)]
+                else:
+                    with pytest.raises(KeyError):
+                        del m[k]
+            elif op == 7:
+                j = br(okeys, k) - 1
+                expected = (okeys[j], model[okeys[j]]) if j >= 0 else None
+                assert m.floor_item(k) == expected
+                j = bl(okeys, k) - 1
+                expected = (okeys[j], model[okeys[j]]) if j >= 0 else None
+                assert m.lower_item(k) == expected
+            elif op == 8:
+                j = bl(okeys, k)
+                expected = (okeys[j], model[okeys[j]]) if j < len(okeys) else None
+                assert m.ceiling_item(k) == expected
+                j = br(okeys, k)
+                expected = (okeys[j], model[okeys[j]]) if j < len(okeys) else None
+                assert m.higher_item(k) == expected
+            elif op == 9:
+                lo = None if rng.random() < 0.2 else rng.randrange(6000)
+                hi = None if rng.random() < 0.2 else rng.randrange(6000)
+                inc = (rng.random() < 0.5, rng.random() < 0.5)
+                got = [key for key, _ in m.irange(lo, hi, inclusive=inc)]
+                lo_j = 0 if lo is None else (bl(okeys, lo) if inc[0] else br(okeys, lo))
+                hi_j = (
+                    len(okeys)
+                    if hi is None
+                    else (br(okeys, hi) if inc[1] else bl(okeys, hi))
+                )
+                assert got == okeys[lo_j:hi_j]
+            elif op == 10 and rng.random() < 0.25:
+                inclusive = rng.random() < 0.5
+                removed = m.pop_below(k, inclusive=inclusive)
+                cut = br(okeys, k) if inclusive else bl(okeys, k)
+                assert removed == [(key, model[key]) for key in okeys[:cut]]
+                for key in okeys[:cut]:
+                    del model[key]
+                del okeys[:cut]
+            else:
+                assert m.get(k, "absent") == model.get(k, "absent")
+                assert (k in m) == (k in model)
+            assert len(m) == len(model)
+            if step % 500 == 499:
+                assert list(m.items()) == [(key, model[key]) for key in okeys]
+        assert list(m.items()) == [(key, model[key]) for key in okeys]
+        if okeys:
+            assert m.min_item() == (okeys[0], model[okeys[0]])
+            assert m.max_item() == (okeys[-1], model[okeys[-1]])
 
 
 class TestSetAndHigher:
