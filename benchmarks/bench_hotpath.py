@@ -336,6 +336,48 @@ def run_smoke_gate():
     m[0] = "again"
     if m.min_item() != (0, "again"):
         failures.append("SortedMap reuse after pop_below broken")
+
+    # Gate 5: batched ingestion must take the staged batch kernel.  Its
+    # per-stage counters advance only inside ``receive_many``'s kernel
+    # and are exact functions of the history, so a regression back to
+    # per-op dispatch (counters stay zero) or a kernel that silently
+    # drops/duplicates probe work fails deterministically — no timing.
+    from repro.bench import cached_default_history
+    from repro.histories.model import OpKind
+
+    history = cached_default_history(
+        n_sessions=6, n_transactions=400, ops_per_txn=8, n_keys=120, seed=77
+    )
+    collector = HistoryCollector(
+        batch_size=50, arrival_tps=10_000, delay_model=NormalDelay(100, 10), seed=5
+    )
+    txns = [txn for _, txn in collector.schedule(history)]
+    checker = Aion(AionConfig(timeout=float("inf")))
+    for offset in range(0, len(txns), 50):
+        checker.receive_many(txns[offset : offset + 50])
+    stats = checker.kernel_stats
+    checker.finalize()
+    checker.close()
+    expected = {
+        "batches": -(-len(txns) // 50),
+        "txns": len(txns),
+        "max_batch": 50,
+        "route_ops": sum(len(t.ops) for t in txns),
+        "probe_reads": sum(len(t.external_reads) for t in txns),
+        "probe_writes": sum(
+            len({op.key for op in t.ops if op.kind is OpKind.WRITE}) for t in txns
+        ),
+        "verdict_tracks": sum(len(t.external_reads) for t in txns),
+    }
+    got = stats.as_dict()
+    for name, want in expected.items():
+        if got[name] != want:
+            failures.append(
+                f"kernel counter {name} = {got[name]}, expected {want}: "
+                "batches are not flowing through the staged kernel"
+            )
+    if got["probe_reads"] == 0 or got["probe_writes"] == 0:
+        failures.append("kernel probe counters are zero on a read/write workload")
     return failures
 
 

@@ -46,14 +46,21 @@ histories).  Aion raises :class:`ValueError` when handed an append.
 from __future__ import annotations
 
 import time
+from collections import defaultdict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, DefaultDict, Dict, List, Optional, Tuple
 
 from repro.core.common import BOTTOM, SessionTracker, simulate_transaction_ops, values_match
 from repro.core.ext_status import ExtStatusTracker, ExtVerdict, FlipFlopStats
+from repro.core.kernel import KernelStats, resolve_writes
 from repro.core.spill import SpillStore
-from repro.core.versioned import ExtReadIndex, VersionedFrontier, WriterIntervals
+from repro.core.versioned import (
+    ExtReadIndex,
+    VersionedFrontier,
+    WriterIntervals,
+    probe_columns,
+)
 from repro.core.violations import (
     Axiom,
     CheckResult,
@@ -131,14 +138,21 @@ class Aion:
         self._ext = ExtStatusTracker(
             timeout=self.config.timeout,
             on_violation=self._report_ext_violation,
-            on_finalized=self._drop_finalized_read,
+            on_finalized_batch=self._drop_finalized_reads,
         )
         self._result = CheckResult()
         self._fresh: List[Violation] = []
         self._resident: Dict[int, Transaction] = {}
         self._resident_by_cts: SortedMap = SortedMap()
+        #: Commit-order entries not yet merged into ``_resident_by_cts``.
+        #: Only the GC paths read the commit-ordered index, so the hot
+        #: path appends ``(commit_ts, tid)`` here and the ordered merge
+        #: is deferred to :meth:`_resident_map` — amortized off ingestion
+        #: without changing what any GC cycle observes.
+        self._resident_cts_pending: List[Tuple[int, int]] = []
         self._spill: Optional[SpillStore] = None
         self._collected_upto: Optional[int] = None
+        self._kernel_stats = KernelStats()
         self.processed = 0
 
     # ------------------------------------------------------------------
@@ -234,24 +248,51 @@ class Aion:
                     )
 
         self._resident[tid] = txn
-        self._resident_by_cts[(txn.commit_ts, tid)] = tid
+        self._resident_cts_pending.append((txn.commit_ts, tid))
         self.processed += 1
         self._ext.arm_timer(tid, now)  # line 3:3
 
     def receive_many(self, txns) -> None:
-        """Process a batch of arrivals sharing one arrival instant.
+        """Process a batch of arrivals through the staged batch kernel.
 
         Semantically identical to calling :meth:`receive` per transaction
         with a clock frozen for the duration of the batch (the
-        differential suite asserts the equivalence), but the batch pays
-        for the clock read, the timer-queue advancement, the deadline
-        arming, and the structure bindings once instead of per
-        transaction.  The collector ships transactions in batches anyway
-        (Fig 3), so this is ingestion's natural unit of work.
+        differential suite asserts the equivalence), but structured as
+        three flat passes over parallel op arrays instead of a per-
+        transaction walk of Algorithm 3:
+
+        **route** — decode the batch into columnar arrays (read keys /
+        snapshot points / readers / observed values; write keys / values /
+        intervals) plus one op stream per key, running the order-stable
+        per-transaction work (Eq. 1, session tracking, the transaction-
+        local INT simulation) as it goes;
+
+        **frontier probe** — walk each key's op stream in arrival order
+        against the versioned structures: visibility floors for external
+        reads, fused overlap-query-plus-insert on the writer intervals,
+        fused insert-plus-successor on the frontier, and the affected-
+        reader sweep — per-key grouping amortizes the index descents a
+        per-op walk pays per operation;
+
+        **verdict** — track all EXT verdicts in one bulk call, then walk
+        the batch in arrival order emitting violations and applying
+        re-evaluations, so reported order matches the per-op path.
+
+        Correctness rests on the same argument as ShardedAion's command
+        streams: per-key operations preserve arrival order within each
+        stream (a transaction's reads precede its writes, matching steps
+        ① and ③), operations on distinct keys touch disjoint state and
+        commute, and global effects are applied in arrival order by the
+        verdict pass.  Tracking a batch's reads before applying its
+        re-evaluations is safe because a pair's re-evaluations only ever
+        originate from writes later in its key's stream than the pair's
+        own read.
         """
         # Validate the whole batch before mutating any state: a rejected
         # append mid-loop would otherwise leave earlier batch members
         # tracked but timer-less.
+        if not isinstance(txns, (list, tuple)):
+            txns = list(txns)
         for txn in txns:
             for op in txn.ops:
                 if op.kind is OpKind.APPEND:
@@ -262,120 +303,193 @@ class Aion:
         now = self._clock()
         ext = self._ext
         ext.advance_to(now)
-        # One binding per batch: Algorithm 3's inner steps touch these on
-        # every operation, and in CPython repeated self-lookups are a
-        # measurable share of per-arrival cost.
-        frontier = self._frontier
-        writers = self._writers
-        ext_reads = self._ext_reads
-        sessions = self._sessions
-        resident = self._resident
-        resident_by_cts = self._resident_by_cts
-        report = self._report
-        visible = self._visible_value
+        if not txns:
+            return
         optimized = self.config.optimized_recheck
-        armed: List[int] = []
+        collected = self._collected_upto
+        stats = self._kernel_stats
+        stats.batches += 1
+        n = len(txns)
+        stats.txns += n
+        if n > stats.max_batch:
+            stats.max_batch = n
 
-        for txn in txns:
+        # Reload-on-demand (▧), hoisted to the batch boundary: a severely
+        # delayed transaction below the GC boundary forces ALL spilled
+        # state back (the step-③ re-check range is bounded by *next*
+        # versions, which may sit in higher segments), and the ablation
+        # re-checks arbitrarily old snapshot points on every write.
+        # Reloading before the batch instead of at the transaction's
+        # sequence point is verdict-equivalent: reloaded data is strictly
+        # older than each key's retained newest-evictable version, so no
+        # floor/successor query issued by the preceding above-boundary
+        # transactions can observe it.
+        if self._spill is not None and len(self._spill) > 0:
+            need_reload = False
+            if collected is not None:
+                for txn in txns:
+                    if txn.start_ts <= collected and txn.start_ts <= txn.commit_ts:
+                        need_reload = True
+                        break
+            if not need_reload and not optimized:
+                for txn in txns:
+                    if txn.start_ts > txn.commit_ts:
+                        continue
+                    for op in txn.ops:
+                        if op.kind is OpKind.WRITE:
+                            need_reload = True
+                            break
+                    if need_reload:
+                        break
+            if need_reload:
+                self._reload_below(None)
+
+        # ---- route: decode into flat parallel arrays + per-key streams.
+        sessions = self._sessions
+        r_keys: List[str] = []
+        r_ts: List[int] = []
+        r_tids: List[int] = []
+        r_vals: List[Any] = []
+        w_keys: List[str] = []
+        w_vals: List[Any] = []
+        w_starts: List[int] = []
+        w_cts: List[int] = []
+        w_tids: List[int] = []
+        #: Per key, arrival-ordered op stream: ``index << 1`` encodes the
+        #: read at ``index``; ``index << 1 | 1`` the write at ``index``.
+        key_streams: DefaultDict[str, List[int]] = defaultdict(list)
+        r_keys_append = r_keys.append
+        r_ts_append = r_ts.append
+        r_tids_append = r_tids.append
+        r_vals_append = r_vals.append
+        w_keys_append = w_keys.append
+        w_vals_append = w_vals.append
+        w_starts_append = w_starts.append
+        w_cts_append = w_cts.append
+        w_tids_append = w_tids.append
+        # Per txn: (txn, pre-violations, w_lo, w_hi) — or None for Eq. 1
+        # rejects, which own no probe work (their pre-violation is kept in
+        # batch position so report order matches the per-op path).
+        entries: List[Tuple[Transaction, Optional[List[Violation]], int, int]] = []
+        rejected: Dict[int, Violation] = {}
+        for position, txn in enumerate(txns):
             tid = txn.tid
             start_ts = txn.start_ts
             commit_ts = txn.commit_ts
+            stats.route_ops += len(txn.ops)
             if start_ts > commit_ts:  # Eq. 1 (lines 3:4–3:5)
-                report(
-                    TimestampOrderViolation(
-                        axiom=Axiom.TS_ORDER,
-                        tid=tid,
-                        start_ts=start_ts,
-                        commit_ts=commit_ts,
-                    )
+                rejected[position] = TimestampOrderViolation(
+                    axiom=Axiom.TS_ORDER,
+                    tid=tid,
+                    start_ts=start_ts,
+                    commit_ts=commit_ts,
                 )
                 continue
-
-            # Severely delayed transaction below the GC boundary: restore
-            # ALL spilled state (reload-on-demand, ▧).  Everything is
-            # needed, not just segments below the commit timestamp — the
-            # re-check range of step ③ is bounded by the *next* version of
-            # each written key, which may itself be spilled in a higher
-            # segment.
-            if self._collected_upto is not None and start_ts <= self._collected_upto:
-                self._reload_below(None)
-
             violation = sessions.observe(txn)  # lines 3:7–3:10
-            if violation is not None:
-                report(violation)
-
-            # ---- step ①: INT immediately, EXT tentatively (3:11–3:25).
-            # INT compares reads against the transaction's own prior
-            # state only, and this batch rejects appends up front, so the
-            # simulation never *uses* a snapshot value — skipping the
-            # per-read snapshot query here halves the frontier lookups
-            # (external reads are re-queried for EXT tracking below, with
-            # any reload side effects they would have triggered).
-            writes = simulate_transaction_ops(
-                txn,
-                _no_snapshot,
-                lambda key, exp, act: None,  # EXT handled below with tracking
-                lambda key, exp, act: report(
-                    IntViolation(axiom=Axiom.INT, tid=tid, key=key, expected=exp, actual=act)
-                ),
-            )
-            if self._spill is None:
-                # Spill-free fast path (no reload-on-demand possible, and
-                # GC cannot start mid-batch): query the frontier value
-                # directly, skipping the version-tuple build.
-                for key, op in txn.external_reads.items():
-                    expected = frontier.value_at(key, start_ts, BOTTOM)
-                    ext.track(
-                        tid, key, start_ts, op.value, ok=values_match(expected, op.value),
-                        expected=expected, now=now,
-                    )
-                    ext_reads.add(key, start_ts, tid, op.value)
-            else:
-                for key, op in txn.external_reads.items():
-                    expected = visible(key, start_ts)
-                    ext.track(
-                        tid, key, start_ts, op.value, ok=values_match(expected, op.value),
-                        expected=expected, now=now,
-                    )
-                    ext_reads.add(key, start_ts, tid, op.value)
-
-            # ---- step ②: NOCONFLICT re-check via interval overlap.
-            for key in writes:
-                for hit in writers.overlapping(
-                    key, start_ts, commit_ts, exclude_tid=tid
-                ):
-                    self._report_conflict(txn, hit.owner, hit.end, key)
-                writers.add(key, start_ts, commit_ts, tid)
-
-            # ---- step ③: EXT re-check for snapshots seeing T's writes.
-            for key, value in writes.items():
-                nxt = frontier.insert_and_next(key, commit_ts, value, tid)
-                next_ts = nxt[0] if nxt is not None else None
-                if optimized:
-                    for _, reader_tid, actual in ext_reads.affected_by(
-                        key, commit_ts, next_ts
-                    ):
-                        if reader_tid == tid:
-                            continue
-                        ext.reevaluate(reader_tid, key, actual == value, value, now)
-                else:
-                    # Ablation: re-evaluate every pending read of the key
-                    # against a fresh visibility query (no range cutoff).
-                    for snapshot_ts, reader_tid, actual in ext_reads.affected_by(
-                        key, 0, None
-                    ):
-                        if reader_tid == tid:
-                            continue
-                        expected = visible(key, snapshot_ts)
-                        ext.reevaluate(
-                            reader_tid, key, values_match(expected, actual), expected, now
+            writes, int_mismatches = resolve_writes(txn.ops)
+            pre: Optional[List[Violation]] = None
+            if violation is not None or int_mismatches is not None:
+                pre = []
+                if violation is not None:
+                    pre.append(violation)
+                if int_mismatches is not None:
+                    for key, exp, act in int_mismatches:
+                        pre.append(
+                            IntViolation(
+                                axiom=Axiom.INT, tid=tid, key=key, expected=exp, actual=act
+                            )
                         )
+            for key, op in txn.external_reads.items():
+                key_streams[key].append(len(r_keys) << 1)
+                r_keys_append(key)
+                r_ts_append(start_ts)
+                r_tids_append(tid)
+                r_vals_append(op.value)
+            w_lo = len(w_keys)
+            for key, value in writes.items():
+                key_streams[key].append((len(w_keys) << 1) | 1)
+                w_keys_append(key)
+                w_vals_append(value)
+                w_starts_append(start_ts)
+                w_cts_append(commit_ts)
+                w_tids_append(tid)
+            entries.append((txn, pre, w_lo, len(w_keys)))
 
+        n_reads = len(r_keys)
+        n_writes = len(w_keys)
+        stats.probe_reads += n_reads
+        stats.probe_writes += n_writes
+
+        # ---- frontier probe: per-key streams in arrival order, executed
+        # by the versioned layer's columnar kernel (one representation
+        # fetch per key instead of one per op — see probe_columns).
+        r_expected, w_conflicts, w_reevals = probe_columns(
+            self._frontier,
+            self._writers,
+            self._ext_reads,
+            key_streams,
+            r_ts,
+            r_tids,
+            r_vals,
+            w_vals,
+            w_starts,
+            w_cts,
+            w_tids,
+            optimized,
+            BOTTOM,
+        )
+
+        # ---- verdict: bulk-track, then walk the batch in arrival order.
+        if n_reads:
+            ext.track_columns(r_tids, r_keys, r_ts, r_vals, r_expected, now, BOTTOM)
+            stats.verdict_tracks += n_reads
+
+        report = self._report
+        reevaluate = ext.reevaluate
+        resident = self._resident
+        pending_cts = self._resident_cts_pending.append
+        armed: List[int] = []
+        armed_append = armed.append
+        rejected_get = rejected.get
+        cursor = 0
+        n_reevals = 0
+        n_conflicts = 0
+        for position in range(n):
+            reject = rejected_get(position)
+            if reject is not None:
+                report(reject)
+                continue
+            txn, pre, w_lo, w_hi = entries[cursor]
+            cursor += 1
+            if pre is not None:
+                for violation in pre:
+                    report(violation)
+            tid = txn.tid
+            for index in range(w_lo, w_hi):
+                hits = w_conflicts[index]
+                if hits is not None:
+                    key = w_keys[index]
+                    n_conflicts += len(hits)
+                    for owner, end in hits:
+                        self._report_conflict(txn, owner, end, key)
+                affected = w_reevals[index]
+                if affected is not None:
+                    key = w_keys[index]
+                    n_reevals += len(affected)
+                    if optimized:
+                        value = w_vals[index]
+                        for _sts, reader_tid, actual in affected:
+                            reevaluate(reader_tid, key, actual == value, value, now)
+                    else:
+                        for expected, reader_tid, actual in affected:
+                            ok = (actual is None) if expected is BOTTOM else (expected == actual)
+                            reevaluate(reader_tid, key, ok, expected, now)
             resident[tid] = txn
-            resident_by_cts[(commit_ts, tid)] = tid
-            self.processed += 1
-            armed.append(tid)
-
+            pending_cts((txn.commit_ts, tid))
+            armed_append(tid)
+        self.processed += len(armed)
+        stats.verdict_reevals += n_reevals
+        stats.verdict_conflicts += n_conflicts
         ext.arm_timers(armed, now)  # line 3:3
 
     # ------------------------------------------------------------------
@@ -407,6 +521,11 @@ class Aion:
     @property
     def flipflop_stats(self) -> FlipFlopStats:
         return self._ext.stats
+
+    @property
+    def kernel_stats(self) -> KernelStats:
+        """Per-stage operation counters of the staged batch kernel."""
+        return self._kernel_stats
 
     @property
     def resident_txn_count(self) -> int:
@@ -443,10 +562,21 @@ class Aion:
         structures, and (c) a severely delayed transaction below the
         watermark transparently reloads the spilled segments.  None when
         nothing is resident."""
-        if not self._resident_by_cts:
+        by_cts = self._resident_map()
+        if not by_cts:
             return None
-        (max_cts, _), _ = self._resident_by_cts.max_item()
+        (max_cts, _), _ = by_cts.max_item()
         return max_cts
+
+    def _resident_map(self) -> SortedMap:
+        """The commit-ordered resident index, with deferred entries merged."""
+        pending = self._resident_cts_pending
+        if pending:
+            by_cts = self._resident_by_cts
+            for entry in pending:
+                by_cts[entry] = entry[1]
+            pending.clear()
+        return self._resident_by_cts
 
     def suggest_gc_ts(self, keep_recent: int = 2000) -> Optional[int]:
         """A collection watermark that spares the ``keep_recent`` newest
@@ -458,10 +588,11 @@ class Aion:
         rare instead of constant.  Returns None when the margin already
         covers everything resident.
         """
-        excess = len(self._resident_by_cts) - keep_recent
+        by_cts = self._resident_map()
+        excess = len(by_cts) - keep_recent
         if excess <= 0:
             return None
-        for index, ((cts, _tid), _) in enumerate(self._resident_by_cts.items()):
+        for index, ((cts, _tid), _) in enumerate(by_cts.items()):
             if index == excess - 1:
                 return cts
         return None
@@ -488,7 +619,7 @@ class Aion:
         frontier_segment = self._frontier.evict_below(effective)
         interval_segment = self._writers.evict_below(effective)
         evicted_txns: List[Transaction] = []
-        for (cts, tid), _ in self._resident_by_cts.pop_below((effective, _TID_MAX)):
+        for (cts, tid), _ in self._resident_map().pop_below((effective, _TID_MAX)):
             txn = self._resident.pop(tid, None)
             if txn is not None:
                 evicted_txns.append(txn)
@@ -605,18 +736,17 @@ class Aion:
             )
         )
 
-    def _drop_finalized_read(self, verdict: ExtVerdict) -> None:
-        self._ext_reads.remove(verdict.key, verdict.snapshot_ts, verdict.tid)
-
-
-def _no_snapshot(key: str) -> None:
-    """Snapshot resolver for the batch kernel's INT-only simulation pass.
-
-    Safe because register reads feed the snapshot value only into the
-    (discarded) EXT callback and appends are rejected before the batch
-    starts; see :meth:`Aion.receive_many`.
-    """
-    return None
+    def _drop_finalized_reads(self, verdicts: List[ExtVerdict]) -> None:
+        # Live index entries correspond 1:1 to live unfinalized verdicts
+        # (every add is paired with a track, removal only happens here,
+        # and pending reads are never GC-evicted), so a finalized batch
+        # as large as the index covers it entirely — the shape of the
+        # end-of-stream flush.
+        ext_reads = self._ext_reads
+        if len(verdicts) == len(ext_reads):
+            ext_reads.clear()
+            return
+        ext_reads.remove_batch([(v.key, v.snapshot_ts, v.tid) for v in verdicts])
 
 
 class _TidMax:

@@ -22,11 +22,13 @@ transactions and keeps checking past violations (Fig 12a/25).
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, List, Optional
+from collections import defaultdict
+from typing import Any, Callable, DefaultDict, Dict, List, Optional, Tuple
 
 from repro.core.aion import AionConfig, GcReport, _TID_MAX
 from repro.core.common import BOTTOM, SessionTracker, simulate_transaction_ops, values_match
 from repro.core.ext_status import ExtStatusTracker, ExtVerdict, FlipFlopStats
+from repro.core.kernel import KernelStats, resolve_writes
 from repro.core.spill import SpillStore
 from repro.core.versioned import ExtReadIndex, VersionedFrontier
 from repro.core.violations import (
@@ -61,7 +63,7 @@ class AionSer:
         self._ext = ExtStatusTracker(
             timeout=self.config.timeout,
             on_violation=self._report_ext_violation,
-            on_finalized=self._drop_finalized_read,
+            on_finalized_batch=self._drop_finalized_reads,
         )
         self._result = CheckResult()
         self._fresh: List[Violation] = []
@@ -69,6 +71,7 @@ class AionSer:
         self._resident_by_cts: SortedMap = SortedMap()
         self._spill: Optional[SpillStore] = None
         self._collected_upto: Optional[int] = None
+        self._kernel_stats = KernelStats()
         self.processed = 0
 
     # ------------------------------------------------------------------
@@ -81,8 +84,18 @@ class AionSer:
         self._ext.arm_timer(txn.tid, now)
 
     def receive_many(self, txns: List[Transaction]) -> None:
-        """Batched ingestion sharing one arrival instant (see Aion)."""
+        """Batched ingestion through the staged batch kernel.
+
+        The SER shape of :meth:`repro.core.aion.Aion.receive_many` —
+        route, frontier probe, verdict — with the serial-order
+        adjustments: the snapshot point is the commit timestamp, the
+        visibility floor is the *strict* predecessor, step ③'s re-check
+        range is upper-inclusive, there is no writer-interval step, and
+        Eq. 1 violations do not reject the transaction.
+        """
         # Whole-batch validation up front, as in Aion.receive_many.
+        if not isinstance(txns, (list, tuple)):
+            txns = list(txns)
         for txn in txns:
             for op in txn.ops:
                 if op.kind is OpKind.APPEND:
@@ -91,10 +104,148 @@ class AionSer:
                         "(append) histories are checked offline by Chronos-SER"
                     )
         now = self._clock()
-        self._ext.advance_to(now)
+        ext = self._ext
+        ext.advance_to(now)
+        if not txns:
+            return
+        collected = self._collected_upto
+        stats = self._kernel_stats
+        stats.batches += 1
+        n = len(txns)
+        stats.txns += n
+        if n > stats.max_batch:
+            stats.max_batch = n
+
+        # Reload-on-demand hoisted to the batch boundary (see Aion's
+        # kernel for the equivalence argument; here the snapshot point —
+        # and hence the boundary test — is the commit timestamp).
+        if (
+            self._spill is not None
+            and len(self._spill) > 0
+            and collected is not None
+            and any(txn.commit_ts <= collected for txn in txns)
+        ):
+            self._reload_below(None)
+
+        # ---- route ----
+        sessions = self._sessions
+        r_keys: List[str] = []
+        r_ts: List[int] = []
+        r_tids: List[int] = []
+        r_vals: List[Any] = []
+        w_keys: List[str] = []
+        w_vals: List[Any] = []
+        w_cts: List[int] = []
+        w_tids: List[int] = []
+        key_streams: DefaultDict[str, List[int]] = defaultdict(list)
+        entries: List[Tuple[Transaction, Optional[List[Violation]], int, int]] = []
         for txn in txns:
-            self._receive_one(txn, now)
-        self._ext.arm_timers([txn.tid for txn in txns], now)
+            tid = txn.tid
+            commit_ts = txn.commit_ts
+            stats.route_ops += len(txn.ops)
+            pre: Optional[List[Violation]] = None
+            if txn.start_ts > commit_ts:
+                # SER checking ignores start timestamps: report Eq. 1 but
+                # still process the transaction at its commit point.
+                pre = [
+                    TimestampOrderViolation(
+                        axiom=Axiom.TS_ORDER,
+                        tid=tid,
+                        start_ts=txn.start_ts,
+                        commit_ts=commit_ts,
+                    )
+                ]
+            violation = sessions.observe(txn)
+            writes, int_mismatches = resolve_writes(txn.ops)
+            if violation is not None or int_mismatches is not None:
+                if pre is None:
+                    pre = []
+                if violation is not None:
+                    pre.append(violation)
+                if int_mismatches is not None:
+                    for key, exp, act in int_mismatches:
+                        pre.append(
+                            IntViolation(
+                                axiom=Axiom.INT, tid=tid, key=key, expected=exp, actual=act
+                            )
+                        )
+            for key, op in txn.external_reads.items():
+                key_streams[key].append(len(r_keys) << 1)
+                r_keys.append(key)
+                r_ts.append(commit_ts)
+                r_tids.append(tid)
+                r_vals.append(op.value)
+            w_lo = len(w_keys)
+            for key, value in writes.items():
+                key_streams[key].append((len(w_keys) << 1) | 1)
+                w_keys.append(key)
+                w_vals.append(value)
+                w_cts.append(commit_ts)
+                w_tids.append(tid)
+            entries.append((txn, pre, w_lo, len(w_keys)))
+
+        n_reads = len(r_keys)
+        n_writes = len(w_keys)
+        stats.probe_reads += n_reads
+        stats.probe_writes += n_writes
+
+        # ---- frontier probe ----
+        frontier = self._frontier
+        ext_reads = self._ext_reads
+        value_before = frontier.value_before
+        insert_and_next_ts = frontier.insert_and_next_ts
+        read_add = ext_reads.add
+        collect_affected = ext_reads.collect_affected
+        r_expected: List[Any] = [None] * n_reads
+        w_reevals: Dict[int, List[Tuple[int, int, Any]]] = {}
+        for key, stream in key_streams.items():
+            for code in stream:
+                index = code >> 1
+                if code & 1:
+                    commit_ts = w_cts[index]
+                    tid = w_tids[index]
+                    nxt_ts = insert_and_next_ts(key, commit_ts, w_vals[index], tid)
+                    affected = collect_affected(
+                        key,
+                        commit_ts,
+                        nxt_ts,
+                        tid,
+                        upper_inclusive=True,
+                    )
+                    if affected:
+                        w_reevals[index] = affected
+                else:
+                    r_expected[index] = value_before(key, r_ts[index], BOTTOM)
+                    read_add(key, r_ts[index], r_tids[index], r_vals[index])
+
+        # ---- verdict ----
+        if n_reads:
+            ext.track_columns(r_tids, r_keys, r_ts, r_vals, r_expected, now, BOTTOM)
+            stats.verdict_tracks += n_reads
+
+        report = self._report
+        reevaluate = ext.reevaluate
+        resident = self._resident
+        resident_by_cts = self._resident_by_cts
+        n_reevals = 0
+        for txn, pre, w_lo, w_hi in entries:
+            if pre is not None:
+                for violation in pre:
+                    report(violation)
+            for index in range(w_lo, w_hi):
+                affected = w_reevals.get(index)
+                if affected is not None:
+                    key = w_keys[index]
+                    value = w_vals[index]
+                    n_reevals += len(affected)
+                    for _sts, reader_tid, actual in affected:
+                        reevaluate(reader_tid, key, actual == value, value, now)
+            tid = txn.tid
+            resident[tid] = txn
+            resident_by_cts[(txn.commit_ts, tid)] = tid
+            self.processed += 1
+        stats.verdict_reevals += n_reevals
+        ext.arm_timers([txn.tid for txn in txns], now)
 
     def _receive_one(self, txn: Transaction, now: float) -> None:
         if txn.start_ts > txn.commit_ts:
@@ -178,6 +329,11 @@ class AionSer:
     @property
     def flipflop_stats(self) -> FlipFlopStats:
         return self._ext.stats
+
+    @property
+    def kernel_stats(self) -> KernelStats:
+        """Per-stage operation counters of the staged batch kernel."""
+        return self._kernel_stats
 
     @property
     def resident_txn_count(self) -> int:
@@ -319,5 +475,11 @@ class AionSer:
             )
         )
 
-    def _drop_finalized_read(self, verdict: ExtVerdict) -> None:
-        self._ext_reads.remove(verdict.key, verdict.snapshot_ts, verdict.tid)
+    def _drop_finalized_reads(self, verdicts: List[ExtVerdict]) -> None:
+        # Same 1:1 invariant as Aion: a finalized batch as large as the
+        # index covers it entirely (end-of-stream flush shape).
+        ext_reads = self._ext_reads
+        if len(verdicts) == len(ext_reads):
+            ext_reads.clear()
+            return
+        ext_reads.remove_batch([(v.key, v.snapshot_ts, v.tid) for v in verdicts])

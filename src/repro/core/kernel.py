@@ -1,0 +1,129 @@
+"""Shared pieces of the staged batch ingestion kernel.
+
+The checkers' ``receive_many`` hot paths share one shape (PR 6): a
+**route** pass decodes an arrival batch into flat parallel op arrays and
+per-key groupings, a **frontier probe** pass walks those arrays against
+the versioned structures, and a **verdict** pass applies the collected
+results — tracking, re-evaluations, conflict reports — in arrival order.
+This module holds the pieces common to :class:`~repro.core.aion.Aion`,
+:class:`~repro.core.aion_ser.AionSer`, and
+:class:`~repro.core.sharded.ShardedAion`:
+
+- :class:`KernelStats` — per-stage operation counters, exposed through
+  each checker's ``kernel_stats`` property and the service ``STATS``
+  response, so the hot path is observable without a profiler (and so CI
+  can gate on deterministic op counts instead of wall-clock).
+- :func:`resolve_writes` — the route pass's callback-free transaction
+  simulation: the INT rules of
+  :func:`~repro.core.common.simulate_transaction_ops` for register
+  histories, returning the resolved final writes plus any INT mismatches
+  as plain tuples instead of driving per-op callbacks through lambdas.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.histories.model import OpKind, Operation
+
+__all__ = ["KernelStats", "resolve_writes"]
+
+
+class KernelStats:
+    """Per-stage operation counters of the staged batch kernel.
+
+    Counters are cumulative over the checker's lifetime and advanced only
+    by the batch kernel (``receive_many``); the per-op reference path
+    (``receive``) leaves them untouched, which is exactly what lets the
+    smoke gate detect a regression back to per-op dispatch.
+    """
+
+    __slots__ = (
+        "batches",
+        "txns",
+        "max_batch",
+        "route_ops",
+        "probe_reads",
+        "probe_writes",
+        "verdict_tracks",
+        "verdict_reevals",
+        "verdict_conflicts",
+    )
+
+    def __init__(self) -> None:
+        #: Batches routed through the kernel.
+        self.batches = 0
+        #: Transactions decoded by the route pass (including rejects).
+        self.txns = 0
+        #: Largest batch seen.
+        self.max_batch = 0
+        #: Raw history operations decoded by the route pass (every op of
+        #: every routed transaction, rejects included — the flat arrays
+        #: hold the deduplicated subset counted by the probe counters).
+        self.route_ops = 0
+        #: Frontier visibility probes issued for external reads.
+        self.probe_reads = 0
+        #: Frontier inserts (and fused overlap queries) for writes.
+        self.probe_writes = 0
+        #: EXT verdicts tracked by the verdict pass.
+        self.verdict_tracks = 0
+        #: EXT re-evaluations applied by the verdict pass.
+        self.verdict_reevals = 0
+        #: NOCONFLICT violations reported by the verdict pass.
+        self.verdict_conflicts = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict snapshot for the service ``STATS`` response."""
+        return {
+            "batches": self.batches,
+            "txns": self.txns,
+            "max_batch": self.max_batch,
+            "route_ops": self.route_ops,
+            "probe_reads": self.probe_reads,
+            "probe_writes": self.probe_writes,
+            "verdict_tracks": self.verdict_tracks,
+            "verdict_reevals": self.verdict_reevals,
+            "verdict_conflicts": self.verdict_conflicts,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"KernelStats({self.as_dict()!r})"
+
+
+def resolve_writes(
+    ops: List[Operation],
+) -> Tuple[Dict[str, Any], Optional[List[Tuple[str, Any, Any]]]]:
+    """Resolve a register transaction's final writes and INT mismatches.
+
+    The route-pass twin of
+    :func:`~repro.core.common.simulate_transaction_ops` for batches that
+    have already rejected appends: snapshot values feed only the EXT
+    callback there (handled separately by the probe pass via the
+    transaction's precomputed ``external_reads``), so the simulation
+    reduces to the transaction-local INT rules — no snapshot resolver, no
+    per-op callbacks.
+
+    Returns ``(resolved_writes, int_mismatches)`` where ``resolved_writes``
+    maps each written key to its final value and ``int_mismatches`` is
+    ``None`` or a list of ``(key, expected, actual)`` in program order.
+    """
+    local: Dict[str, Any] = {}
+    resolved: Dict[str, Any] = {}
+    mismatches: Optional[List[Tuple[str, Any, Any]]] = None
+    write = OpKind.WRITE
+    local_get = local.get
+    missing = resolved  # private sentinel: never a stored op value
+    for op in ops:
+        key = op.key
+        value = op.value
+        if op.kind is write:
+            local[key] = value
+            resolved[key] = value
+        else:  # READ / READ_LIST: identical transaction-local INT rule
+            prior = local_get(key, missing)
+            if prior is not missing and prior != value:
+                if mismatches is None:
+                    mismatches = []
+                mismatches.append((key, prior, value))
+            local[key] = value
+    return resolved, mismatches

@@ -13,11 +13,15 @@ cross-key state — SESSION tracking, INT checking, the EXT timer queue,
 violation aggregation, the resident set and GC — stays in a global
 coordinator.
 
-Ingestion is *batch oriented*: the collector ships transactions in
-batches (Fig 3), and :meth:`ShardedAion.receive_many` plans one ordered
-command list per shard for the whole batch, executes the shard lists
-(serially in-process, or in parallel worker processes), and merges the
-results back in arrival order.  The equivalence argument is short:
+Ingestion is *batch oriented* and runs through the staged batch kernel
+(PR 6): the collector ships transactions in batches (Fig 3), and
+:meth:`ShardedAion.receive_many` **routes** the whole batch once into
+per-shard *flat command arrays* (parallel ``tags``/``keys``/operand
+lists — one integer tag per command instead of a tuple allocation per
+command), **probes** by handing each shard its arrays to interpret in
+one pass (serially in-process, or in parallel worker processes), and
+applies a **verdict** pass that merges the shard results back in arrival
+order.  The equivalence argument is short:
 
 - per-key commands of one transaction are enqueued in the same order
   Aion executes them, and commands of transaction *i* precede those of
@@ -26,7 +30,11 @@ results back in arrival order.  The equivalence argument is short:
 - commands on different keys operate on disjoint state and commute;
 - the coordinator applies global effects (EXT tracking, re-evaluation,
   conflict reports) by walking the batch in arrival order, so per-pair
-  verdict updates happen in the sequential order as well.
+  verdict updates happen in the sequential order as well.  Tracking the
+  batch's external reads *before* applying its re-evaluations is safe
+  because a shard's re-evaluation list for a write only contains reads
+  that preceded the write in that key's stream — a pair tracked later
+  can never appear in it.
 
 Hence the final violation multiset equals single-shard Aion's — the
 differential tests in ``tests/test_sharded.py`` demonstrate it.
@@ -48,8 +56,9 @@ import zlib
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.aion import AionConfig, GcReport, _TID_MAX
-from repro.core.common import BOTTOM, SessionTracker, simulate_transaction_ops, values_match
+from repro.core.common import BOTTOM, SessionTracker, values_match
 from repro.core.ext_status import ExtStatusTracker, ExtVerdict, FlipFlopStats
+from repro.core.kernel import KernelStats, resolve_writes
 from repro.core.spill import SpillStore
 from repro.core.versioned import ExtReadIndex, VersionedFrontier, WriterIntervals
 from repro.core.violations import (
@@ -73,12 +82,40 @@ def shard_of(key: str, n_shards: int) -> int:
     return zlib.crc32(key.encode("utf-8")) % n_shards
 
 
+# Integer tags of the flat shard command encoding.  A command is one row
+# across the five parallel arrays (tags, keys, a, b, c); operand meaning
+# per tag:
+#
+#   ==================  =============  ============  ===========  ========
+#   tag                 key            a             b            c
+#   ==================  =============  ============  ===========  ========
+#   _VISIBLE            key            snapshot_ts   —            —
+#   _ADD_READ           key            snapshot_ts   tid          actual
+#   _REMOVE_READ        key            snapshot_ts   tid          —
+#   _OVERLAP_ADD        key            start_ts      commit_ts    tid
+#   _INSERT_RECHECK     key            commit_ts     value        tid
+#   _MERGE              ""             frontier_seg  interval_seg —
+#   ==================  =============  ============  ===========  ========
+_VISIBLE = 0
+_ADD_READ = 1
+_REMOVE_READ = 2
+_OVERLAP_ADD = 3
+_INSERT_RECHECK = 4
+_MERGE = 5
+
+#: One shard's flat command stream: (tags, keys, a, b, c) parallel lists.
+_FlatStream = Tuple[List[int], List[str], List[Any], List[Any], List[Any]]
+
+
 class _ShardCore:
     """One shard's versioned structures plus a command interpreter.
 
-    Commands are plain tuples so they cross a process boundary cheaply;
-    ``execute`` applies a batch's ordered command list and returns one
-    result per command.
+    The data plane speaks the *flat* encoding: five parallel arrays per
+    batch (see the tag table above) that cross a process boundary as one
+    pickle instead of one tuple per command, and that ``execute_flat``
+    interprets in a single branch-per-tag loop.  Control-plane commands
+    (evict, merge, sizeof) remain plain tuples through ``execute`` —
+    they are rare and payload-heavy, so flattening buys nothing.
     """
 
     __slots__ = ("frontier", "writers", "ext_reads")
@@ -88,81 +125,95 @@ class _ShardCore:
         self.writers = WriterIntervals()
         self.ext_reads = ExtReadIndex()
 
-    def execute(self, commands: List[Tuple]) -> List[Any]:
+    def execute_flat(
+        self,
+        tags: List[int],
+        keys: List[str],
+        a: List[Any],
+        b: List[Any],
+        c: List[Any],
+        optimized: bool,
+    ) -> List[Any]:
+        """Interpret one batch's flat command arrays for this shard.
+
+        Returns only the *semantic* results (visible values, overlap
+        hits, re-evaluation lists) in stream order; bookkeeping commands
+        (add/remove read, merge) emit no result slot, so the
+        coordinator's merge walk consumes results with a plain
+        sequential cursor — no None-skipping.
+        """
         results: List[Any] = []
-        for command in commands:
-            op = command[0]
-            if op == "visible":
-                _, key, ts = command
-                # Wrapped in a 1-tuple so the result is never None: the
-                # merge walk distinguishes semantic results from the None
-                # results of bookkeeping commands by exactly that.
-                results.append((self.frontier.value_at(key, ts, BOTTOM),))
-            elif op == "add_read":
-                _, key, snapshot_ts, tid, actual = command
-                self.ext_reads.add(key, snapshot_ts, tid, actual)
-                results.append(None)
-            elif op == "remove_read":
-                _, key, snapshot_ts, tid = command
-                self.ext_reads.remove(key, snapshot_ts, tid)
-                results.append(None)
-            elif op == "overlap_add":
-                _, key, start_ts, commit_ts, tid = command
-                hits = [
-                    (hit.owner, hit.end)
-                    for hit in self.writers.overlapping(
-                        key, start_ts, commit_ts, exclude_tid=tid
-                    )
-                ]
-                self.writers.add(key, start_ts, commit_ts, tid)
-                results.append(hits)
-            elif op == "insert_recheck":
-                _, key, commit_ts, value, tid, optimized = command
-                nxt = self.frontier.insert_and_next(key, commit_ts, value, tid)
-                reevals: List[Tuple[int, bool, Any]] = []
+        append = results.append
+        frontier = self.frontier
+        writers = self.writers
+        ext_reads = self.ext_reads
+        value_at = frontier.value_at
+        for i in range(len(tags)):
+            tag = tags[i]
+            key = keys[i]
+            if tag == _VISIBLE:
+                append(value_at(key, a[i], BOTTOM))
+            elif tag == _ADD_READ:
+                ext_reads.add(key, a[i], b[i], c[i])
+            elif tag == _OVERLAP_ADD:
+                append(writers.overlap_add(key, a[i], b[i], c[i]))
+            elif tag == _INSERT_RECHECK:
+                commit_ts = a[i]
+                value = b[i]
+                tid = c[i]
+                next_ts = frontier.insert_and_next_ts(key, commit_ts, value, tid)
                 if optimized:
-                    next_ts = nxt[0] if nxt is not None else None
-                    for _sts, reader_tid, actual in self.ext_reads.affected_by(
-                        key, commit_ts, next_ts
-                    ):
-                        if reader_tid == tid:
-                            continue
-                        reevals.append((reader_tid, actual == value, value))
+                    append(
+                        [
+                            (reader_tid, actual == value, value)
+                            for _sts, reader_tid, actual in ext_reads.collect_affected(
+                                key, commit_ts, next_ts, tid
+                            )
+                        ]
+                    )
                 else:
-                    for snapshot_ts, reader_tid, actual in self.ext_reads.affected_by(
-                        key, 0, None
+                    reevals: List[Tuple[int, bool, Any]] = []
+                    for sts, reader_tid, actual in ext_reads.collect_affected(
+                        key, 0, None, tid
                     ):
-                        if reader_tid == tid:
-                            continue
-                        expected = self.frontier.value_at(key, snapshot_ts, BOTTOM)
+                        expected = value_at(key, sts, BOTTOM)
                         reevals.append(
                             (reader_tid, values_match(expected, actual), expected)
                         )
-                results.append(reevals)
-            elif op == "evict":
+                    append(reevals)
+            elif tag == _REMOVE_READ:
+                ext_reads.remove(key, a[i], b[i])
+            else:  # _MERGE — spilled segments spliced back in-stream
+                frontier.merge(
+                    {k: [tuple(v) for v in versions] for k, versions in a[i].items()}
+                )
+                writers.merge(
+                    {k: [tuple(v) for v in ivs] for k, ivs in b[i].items()}
+                )
+        return results
+
+    def execute(self, commands: List[Tuple]) -> List[Any]:
+        """Control-plane interpreter (GC eviction, size estimation)."""
+        results: List[Any] = []
+        for command in commands:
+            op = command[0]
+            if op == "evict":
                 _, ts = command
                 results.append((self.frontier.evict_below(ts), self.writers.evict_below(ts)))
-            elif op == "merge":
-                _, frontier_segment, interval_segment = command
-                self.frontier.merge(
-                    {
-                        k: [tuple(v) for v in versions]
-                        for k, versions in frontier_segment.items()
-                    }
-                )
-                self.writers.merge(
-                    {k: [tuple(v) for v in ivs] for k, ivs in interval_segment.items()}
-                )
-                results.append(None)
             elif op == "sizeof":
                 results.append(deep_sizeof((self.frontier, self.writers, self.ext_reads)))
-            else:  # pragma: no cover - guarded by the planner
+            else:  # pragma: no cover - guarded by the coordinator
                 raise ValueError(f"unknown shard command {op!r}")
         return results
 
 
 def _shard_worker(conn) -> None:
-    """Process-mode loop: own one shard core, serve command batches."""
+    """Process-mode loop: own one shard core, serve command batches.
+
+    Messages are ``("flat", (tags, keys, a, b, c, optimized))`` for the
+    data plane, ``("cmds", [...])`` for the control plane, and ``None``
+    to stop.
+    """
     # A terminal Ctrl+C delivers SIGINT to the whole foreground process
     # group, workers included.  The parent handles it (e.g. `repro
     # serve` drains gracefully); a worker dying mid-drain would turn
@@ -174,10 +225,14 @@ def _shard_worker(conn) -> None:
     core = _ShardCore()
     try:
         while True:
-            commands = conn.recv()
-            if commands is None:
+            message = conn.recv()
+            if message is None:
                 break
-            conn.send(core.execute(commands))
+            kind, payload = message
+            if kind == "flat":
+                conn.send(core.execute_flat(*payload))
+            else:
+                conn.send(core.execute(payload))
     except (EOFError, KeyboardInterrupt):  # pragma: no cover - teardown races
         pass
     finally:
@@ -221,8 +276,9 @@ class ShardedAion:
         self._ext = ExtStatusTracker(
             timeout=self.config.timeout,
             on_violation=self._report_ext_violation,
-            on_finalized=self._drop_finalized_read,
+            on_finalized_batch=self._drop_finalized_reads,
         )
+        self._kernel_stats = KernelStats()
         self._result = CheckResult()
         self._fresh: List[Violation] = []
         self._resident: Dict[int, Transaction] = {}
@@ -237,10 +293,14 @@ class ShardedAion:
         #: checker itself never blocks on it — single-threaded use pays
         #: nothing.
         self.ingest_lock = threading.Lock()
-        #: remove_read commands owed to shards, flushed with the next batch
-        #: (re-evaluating a finalized pair is a tracker no-op, so deferred
-        #: removal cannot change verdicts — it only bounds index growth).
-        self._pending_removals: List[List[Tuple]] = [[] for _ in range(n_shards)]
+        #: (key, snapshot_ts, tid) read removals owed to shards, flushed
+        #: as remove-read rows at the head of the next batch's flat
+        #: streams (re-evaluating a finalized pair is a tracker no-op, so
+        #: deferred removal cannot change verdicts — it only bounds index
+        #: growth).
+        self._pending_removals: List[List[Tuple[str, int, int]]] = [
+            [] for _ in range(n_shards)
+        ]
         self._cores: Optional[List[_ShardCore]] = None
         self._workers: List[multiprocessing.Process] = []
         self._conns: List[Any] = []
@@ -269,8 +329,13 @@ class ShardedAion:
 
         Equivalent to feeding the batch one-by-one into single-shard Aion
         under a clock frozen for the batch's duration; see the module
-        docstring for the argument.
+        docstring for the argument.  This is the sharded face of the
+        staged batch kernel: route once into per-shard flat arrays,
+        probe each shard in one pass, apply the verdicts in arrival
+        order.
         """
+        if not isinstance(txns, (list, tuple)):
+            txns = list(txns)
         for txn in txns:
             for op in txn.ops:
                 if op.kind is OpKind.APPEND:
@@ -280,15 +345,30 @@ class ShardedAion:
                     )
         now = self._clock()
         self._ext.advance_to(now)
+        if not txns:
+            return
+        stats = self._kernel_stats
+        stats.batches += 1
+        stats.txns += len(txns)
+        if len(txns) > stats.max_batch:
+            stats.max_batch = len(txns)
 
-        shard_cmds: List[List[Tuple]] = [[] for _ in range(self.n_shards)]
+        streams: List[_FlatStream] = [
+            ([], [], [], [], []) for _ in range(self.n_shards)
+        ]
         for shard, removals in enumerate(self._pending_removals):
             if removals:
-                shard_cmds[shard].extend(removals)
+                tags, keys, a, b, c = streams[shard]
+                for key, snapshot_ts, tid in removals:
+                    tags.append(_REMOVE_READ)
+                    keys.append(key)
+                    a.append(snapshot_ts)
+                    b.append(tid)
+                    c.append(None)
                 self._pending_removals[shard] = []
 
-        plan = self._plan_batch(txns, shard_cmds)
-        shard_results = self._execute(shard_cmds)
+        plan = self._route_batch(txns, streams)
+        shard_results = self._execute(streams)
         self._merge(plan, shard_results, now)
 
     def receive_many_threadsafe(self, txns: List[Transaction]) -> None:
@@ -298,19 +378,25 @@ class ShardedAion:
         with self.ingest_lock:
             self.receive_many(txns)
 
-    def _plan_batch(
-        self, txns: List[Transaction], shard_cmds: List[List[Tuple]]
+    def _route_batch(
+        self, txns: List[Transaction], streams: List[_FlatStream]
     ) -> List[Tuple[Transaction, Optional[List[Tuple]]]]:
-        """Build per-shard command streams; report order-independent
-        violations (Eq. 1, SESSION, INT) as they are discovered.
+        """Route pass: decode the batch into per-shard flat command
+        arrays; report order-independent violations (Eq. 1, SESSION, INT)
+        as they are discovered.
 
-        Returns, per transaction, the descriptor list the merge phase
+        Returns, per transaction, the descriptor list the verdict phase
         walks — None when the transaction was rejected by Eq. 1 and owns
         no shard commands.
         """
         plan: List[Tuple[Transaction, Optional[List[Tuple]]]] = []
+        stats = self._kernel_stats
+        n_shards = self.n_shards
+        n_reads = 0
+        n_writes = 0
         for txn in txns:
             tid = txn.tid
+            stats.route_ops += len(txn.ops)
             if txn.start_ts > txn.commit_ts:  # Eq. 1
                 self._report(
                     TimestampOrderViolation(
@@ -337,7 +423,7 @@ class ShardedAion:
                     op.kind is OpKind.WRITE for op in txn.ops
                 )
                 if below_boundary or ablation_write:
-                    self._plan_reload(shard_cmds)
+                    self._route_reload(streams)
 
             violation = self._sessions.observe(txn)
             if violation is not None:
@@ -346,63 +432,84 @@ class ShardedAion:
             # INT is key-local: a mismatch compares a read against the
             # transaction's own prior state, so no shard query is needed
             # (snapshot values feed only EXT, handled below).
-            writes = simulate_transaction_ops(
-                txn,
-                lambda key: BOTTOM,
-                lambda key, exp, act: None,
-                lambda key, exp, act: self._report(
-                    IntViolation(axiom=Axiom.INT, tid=tid, key=key, expected=exp, actual=act)
-                ),
-            )
+            writes, mismatches = resolve_writes(txn.ops)
+            if mismatches is not None:
+                for key, expected, actual in mismatches:
+                    self._report(
+                        IntViolation(
+                            axiom=Axiom.INT,
+                            tid=tid,
+                            key=key,
+                            expected=expected,
+                            actual=actual,
+                        )
+                    )
 
+            start_ts = txn.start_ts
+            commit_ts = txn.commit_ts
             steps: List[Tuple] = []
             for key, op in txn.external_reads.items():
-                shard = shard_of(key, self.n_shards)
-                shard_cmds[shard].append(("visible", key, txn.start_ts))
-                shard_cmds[shard].append(("add_read", key, txn.start_ts, tid, op.value))
+                shard = shard_of(key, n_shards)
+                tags, keys, a, b, c = streams[shard]
+                tags.append(_VISIBLE)
+                keys.append(key)
+                a.append(start_ts)
+                b.append(None)
+                c.append(None)
+                tags.append(_ADD_READ)
+                keys.append(key)
+                a.append(start_ts)
+                b.append(tid)
+                c.append(op.value)
                 steps.append(("track", shard, key, op.value))
-            for key in writes:
-                shard = shard_of(key, self.n_shards)
-                shard_cmds[shard].append(
-                    ("overlap_add", key, txn.start_ts, txn.commit_ts, tid)
-                )
-                steps.append(("conflicts", shard, key))
+            n_reads += len(steps)
             for key, value in writes.items():
-                shard = shard_of(key, self.n_shards)
-                shard_cmds[shard].append(
-                    (
-                        "insert_recheck",
-                        key,
-                        txn.commit_ts,
-                        value,
-                        tid,
-                        self.config.optimized_recheck,
-                    )
-                )
+                shard = shard_of(key, n_shards)
+                tags, keys, a, b, c = streams[shard]
+                tags.append(_OVERLAP_ADD)
+                keys.append(key)
+                a.append(start_ts)
+                b.append(commit_ts)
+                c.append(tid)
+                tags.append(_INSERT_RECHECK)
+                keys.append(key)
+                a.append(commit_ts)
+                b.append(value)
+                c.append(tid)
+                steps.append(("conflicts", shard, key))
                 steps.append(("reevals", shard, key))
+            n_writes += len(writes)
             plan.append((txn, steps))
+        stats.probe_reads += n_reads
+        stats.probe_writes += n_writes
         return plan
 
-    def _plan_reload(self, shard_cmds: List[List[Tuple]]) -> None:
-        """Enqueue spilled segments back into their shards, in-stream."""
+    def _route_reload(self, streams: List[_FlatStream]) -> None:
+        """Splice spilled segments back into their shard streams."""
         if self._spill is None:
             return
         for payload in self._spill.reload_overlapping(0, None):
             for shard_key, segment in payload.get("shards", {}).items():
-                shard = int(shard_key)
-                shard_cmds[shard].append(
-                    ("merge", segment.get("frontier", {}), segment.get("intervals", {}))
-                )
+                tags, keys, a, b, c = streams[int(shard_key)]
+                tags.append(_MERGE)
+                keys.append("")
+                a.append(segment.get("frontier", {}))
+                b.append(segment.get("intervals", {}))
+                c.append(None)
 
-    def _execute(self, shard_cmds: List[List[Tuple]]) -> List[List[Any]]:
+    def _execute(self, streams: List[_FlatStream]) -> List[List[Any]]:
+        optimized = self.config.optimized_recheck
         if self._cores is not None:
-            return [core.execute(cmds) for core, cmds in zip(self._cores, shard_cmds)]
+            return [
+                core.execute_flat(tags, keys, a, b, c, optimized)
+                for core, (tags, keys, a, b, c) in zip(self._cores, streams)
+            ]
         # Process mode: dispatch every non-empty stream, then collect —
-        # the workers run their lists concurrently.
+        # the workers interpret their arrays concurrently.
         dispatched = []
-        for shard, cmds in enumerate(shard_cmds):
-            if cmds:
-                self._conns[shard].send(cmds)
+        for shard, stream in enumerate(streams):
+            if stream[0]:
+                self._conns[shard].send(("flat", stream + (optimized,)))
                 dispatched.append(shard)
         results: List[List[Any]] = [[] for _ in range(self.n_shards)]
         for shard in dispatched:
@@ -415,55 +522,74 @@ class ShardedAion:
         shard_results: List[List[Any]],
         now: float,
     ) -> None:
-        """Apply global effects in arrival order, consuming shard results.
+        """Verdict pass: apply global effects in arrival order.
 
-        Every semantic command (visible / overlap_add / insert_recheck)
-        returns a non-None result; bookkeeping commands (remove_read,
-        merge) and add_read return None.  The planner enqueued semantic
-        commands in exactly the order the step walk requests them, so a
-        per-shard cursor that skips None results stays aligned without
-        any positional bookkeeping.
+        Shards return exactly one result per semantic command (visible /
+        overlap_add / insert_recheck) in stream order, and the route pass
+        enqueued those commands in exactly the order the step walk
+        requests them, so a plain sequential per-shard cursor stays
+        aligned.  The walk first gathers every external read's initial
+        verdict and registers them in one :meth:`~repro.core.ext_status.
+        ExtStatusTracker.track_batch` call, then applies conflict reports
+        and re-evaluations per transaction in arrival order — safe
+        because a shard's re-evaluation list for a write only names reads
+        that preceded the write in that key's stream.
         """
         cursors = [0] * self.n_shards
-
-        def next_semantic(shard: int) -> Any:
-            results = shard_results[shard]
-            cursor = cursors[shard]
-            while results[cursor] is None:
-                cursor += 1
-            cursors[shard] = cursor + 1
-            return results[cursor]
-
-        armed: List[int] = []
+        track_items: List[Tuple[int, str, int, Any, bool, Any]] = []
+        #: per accepted txn: (txn, [(is_reeval, key, payload), ...])
+        effects: List[Tuple[Transaction, List[Tuple[bool, str, List]]]] = []
         for txn, steps in plan:
             if steps is None:
                 continue
             tid = txn.tid
+            start_ts = txn.start_ts
+            applied: List[Tuple[bool, str, List]] = []
             for step in steps:
                 kind, shard, key = step[0], step[1], step[2]
+                cursor = cursors[shard]
+                cursors[shard] = cursor + 1
+                result = shard_results[shard][cursor]
                 if kind == "track":
-                    (expected,) = next_semantic(shard)
                     actual = step[3]
-                    self._ext.track(
-                        tid,
-                        key,
-                        txn.start_ts,
-                        actual,
-                        ok=values_match(expected, actual),
-                        expected=expected,
-                        now=now,
+                    ok = (
+                        (actual is None)
+                        if result is BOTTOM
+                        else (result == actual)
                     )
-                elif kind == "conflicts":
-                    for owner, end in next_semantic(shard):
+                    track_items.append((tid, key, start_ts, actual, ok, result))
+                elif result:
+                    applied.append((kind == "reevals", key, result))
+            effects.append((txn, applied))
+
+        ext = self._ext
+        ext.track_batch(track_items, now)
+        stats = self._kernel_stats
+        stats.verdict_tracks += len(track_items)
+        reevaluate = ext.reevaluate
+        resident = self._resident
+        resident_by_cts = self._resident_by_cts
+        n_reevals = 0
+        n_conflicts = 0
+        armed: List[int] = []
+        for txn, applied in effects:
+            tid = txn.tid
+            for is_reeval, key, payload in applied:
+                if is_reeval:
+                    n_reevals += len(payload)
+                    for reader_tid, ok, expected in payload:
+                        reevaluate(reader_tid, key, ok, expected, now)
+                else:
+                    n_conflicts += len(payload)
+                    for owner, end in payload:
                         self._report_conflict(txn, owner, end, key)
-                else:  # "reevals"
-                    for reader_tid, ok, expected in next_semantic(shard):
-                        self._ext.reevaluate(reader_tid, key, ok, expected, now)
-            self._resident[tid] = txn
-            self._resident_by_cts[(txn.commit_ts, tid)] = tid
+            resident[tid] = txn
+            resident_by_cts[(txn.commit_ts, tid)] = tid
             self.processed += 1
             armed.append(tid)
-        self._ext.arm_timers(armed, now)
+        stats.verdict_reevals += n_reevals
+        stats.verdict_conflicts += n_conflicts
+        ext.arm_timers(armed, now)
 
     # ------------------------------------------------------------------
     # Results
@@ -489,6 +615,12 @@ class ShardedAion:
         return self._ext.stats
 
     @property
+    def kernel_stats(self) -> KernelStats:
+        """Per-stage operation counters of the staged batch kernel
+        (coordinator-side: routing, probes dispatched, verdicts applied)."""
+        return self._kernel_stats
+
+    @property
     def resident_txn_count(self) -> int:
         return len(self._resident)
 
@@ -503,7 +635,7 @@ class ShardedAion:
             total += deep_sizeof(tuple(self._cores))
         else:
             for conn in self._conns:
-                conn.send([("sizeof",)])
+                conn.send(("cmds", [("sizeof",)]))
             for conn in self._conns:
                 total += conn.recv()[0]
         return total
@@ -549,7 +681,7 @@ class ShardedAion:
                 segments.append(core.execute([("evict", effective)])[0])
         else:
             for conn in self._conns:
-                conn.send([("evict", effective)])
+                conn.send(("cmds", [("evict", effective)]))
             for conn in self._conns:
                 segments.append(conn.recv()[0])
 
@@ -668,8 +800,10 @@ class ShardedAion:
             )
         )
 
-    def _drop_finalized_read(self, verdict: ExtVerdict) -> None:
-        shard = shard_of(verdict.key, self.n_shards)
-        self._pending_removals[shard].append(
-            ("remove_read", verdict.key, verdict.snapshot_ts, verdict.tid)
-        )
+    def _drop_finalized_reads(self, verdicts: List[ExtVerdict]) -> None:
+        n_shards = self.n_shards
+        pending = self._pending_removals
+        for verdict in verdicts:
+            pending[shard_of(verdict.key, n_shards)].append(
+                (verdict.key, verdict.snapshot_ts, verdict.tid)
+            )

@@ -587,6 +587,11 @@ class CheckerService:
             processed = self.checker.processed
             violations = len(self.checker.result.violations)
             estimated_bytes = self.checker.estimated_bytes() if include_bytes else None
+            # Batch-kernel checkers expose per-stage op counters; offline
+            # wrappers (Chronos) do not — report null rather than omit so
+            # pollers see a stable schema.
+            kernel_stats = getattr(self.checker, "kernel_stats", None)
+            kernel = kernel_stats.as_dict() if kernel_stats is not None else None
         queue_depth = self._queue.qsize() if self._queue is not None else 0
         with self._throughput_lock:
             throughput = self.throughput.snapshot()
@@ -606,6 +611,7 @@ class CheckerService:
             "ingest_errors": self.ingest_errors,
             "last_ingest_error": self.last_ingest_error,
             "throughput": throughput,
+            "kernel": kernel,
             "gc": {
                 "cycles": self.gc_cycles,
                 "seconds": round(self.gc_seconds, 6),

@@ -8,11 +8,20 @@ retroactive query "which writer intervals of ``k`` overlap this new
 interval?" — the role of :class:`IntervalIndex`.
 
 The index shares the two-level flat layout of
-:class:`~repro.util.sortedmap.SortedMap`: intervals sorted by
-``(start, owner)`` in bounded chunks with a ``maxes`` index, plus — per
-chunk — a parallel *reach* array holding the running prefix maximum of
-interval end points.  Reach arrays bound what
-:meth:`IntervalIndex.overlapping` must examine:
+:class:`~repro.util.sortedmap.SortedMap`, taken one step further into
+columnar form: interval *keys* ``(start, owner)`` sorted in bounded
+chunks with a ``maxes`` index, a parallel per-chunk ``ends`` array of
+plain ``int`` end points, and — per chunk — a parallel *reach* array
+holding the running prefix maximum of those end points.  No
+:class:`Interval` objects live inside the index: the batch kernel's
+fused :meth:`IntervalIndex.overlap_add` runs entirely over contiguous
+int arrays (an attribute dereference per examined entry was a measurable
+share of step ② when chunks held interval objects), and ``Interval``
+records are materialized only at the object-API boundaries
+(:meth:`IntervalIndex.overlapping`, :meth:`IntervalIndex.pop_ending_before`,
+iteration).
+
+Reach arrays bound what an overlap query must examine:
 
 - a chunk whose total reach (``reach[-1]``) falls short of the query's
   start cannot contain an overlap and is skipped with a single ``O(1)``
@@ -38,8 +47,7 @@ number of entries actually examined.
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from dataclasses import dataclass
-from typing import Any, Iterator, List, Optional
+from typing import Any, Iterator, List, Optional, Tuple
 
 __all__ = ["Interval", "IntervalIndex"]
 
@@ -50,17 +58,24 @@ _LOAD = 512
 _SPLIT = 2 * _LOAD
 
 
-@dataclass(frozen=True, order=True)
 class Interval:
-    """A closed interval ``[start, end]`` tagged with an owner payload."""
+    """A closed interval ``[start, end]`` tagged with an owner payload.
 
-    start: int
-    end: int
-    owner: Any = None
+    A plain ``__slots__`` record rather than a dataclass: the checker
+    constructs one per writer interval on the batch hot path, where the
+    dataclass ``__init__``/``__post_init__`` machinery is measurable.
+    Ordering and hashing follow the former ``(start, end, owner)`` field
+    tuple exactly.
+    """
 
-    def __post_init__(self) -> None:
-        if self.end < self.start:
-            raise ValueError(f"interval end {self.end} precedes start {self.start}")
+    __slots__ = ("start", "end", "owner")
+
+    def __init__(self, start: int, end: int, owner: Any = None) -> None:
+        if end < start:
+            raise ValueError(f"interval end {end} precedes start {start}")
+        self.start = start
+        self.end = end
+        self.owner = owner
 
     def overlaps(self, other: "Interval") -> bool:
         """True when the closed intervals share at least one point."""
@@ -69,23 +84,59 @@ class Interval:
     def contains_point(self, point: int) -> bool:
         return self.start <= point <= self.end
 
+    def __eq__(self, other: Any) -> bool:
+        if type(other) is not Interval:
+            return NotImplemented
+        return (
+            self.start == other.start
+            and self.end == other.end
+            and self.owner == other.owner
+        )
+
+    def __lt__(self, other: "Interval") -> bool:
+        if type(other) is not Interval:
+            return NotImplemented
+        return (self.start, self.end, self.owner) < (other.start, other.end, other.owner)
+
+    def __le__(self, other: "Interval") -> bool:
+        if type(other) is not Interval:
+            return NotImplemented
+        return (self.start, self.end, self.owner) <= (other.start, other.end, other.owner)
+
+    def __gt__(self, other: "Interval") -> bool:
+        if type(other) is not Interval:
+            return NotImplemented
+        return (self.start, self.end, self.owner) > (other.start, other.end, other.owner)
+
+    def __ge__(self, other: "Interval") -> bool:
+        if type(other) is not Interval:
+            return NotImplemented
+        return (self.start, self.end, self.owner) >= (other.start, other.end, other.owner)
+
+    def __hash__(self) -> int:
+        return hash((self.start, self.end, self.owner))
+
+    def __repr__(self) -> str:
+        return f"Interval(start={self.start!r}, end={self.end!r}, owner={self.owner!r})"
+
 
 class IntervalIndex:
     """A dynamic set of intervals supporting overlap queries and GC.
 
     Intervals are keyed by ``(start, owner)`` so multiple intervals may
-    share a start point; duplicate keys overwrite.  ``_reach[ci][j]`` is
-    ``max(end of _vals[ci][0..j])`` — the per-entry prefix-max "reach"
-    maintained incrementally per chunk (an insert or delete at position
-    ``j`` recomputes the suffix from ``j``, which is ``O(1)`` for the
-    common append-at-the-end arrival pattern).
+    share a start point; duplicate keys overwrite.  End points live in
+    the columnar ``_ends`` chunks parallel to the key chunks;
+    ``_reach[ci][j]`` is ``max(_ends[ci][0..j])`` — the per-entry
+    prefix-max "reach" maintained incrementally per chunk (an insert or
+    delete at position ``j`` recomputes the suffix from ``j``, which is
+    ``O(1)`` for the common append-at-the-end arrival pattern).
     """
 
-    __slots__ = ("_keys", "_vals", "_reach", "_maxes", "_len", "scan_steps", "gc_scan_steps")
+    __slots__ = ("_keys", "_ends", "_reach", "_maxes", "_len", "scan_steps", "gc_scan_steps")
 
     def __init__(self) -> None:
         self._keys: List[list] = []   # chunks of (start, owner) keys
-        self._vals: List[List[Interval]] = []
+        self._ends: List[List[int]] = []  # per-chunk interval end points
         self._reach: List[List[int]] = []  # per-chunk prefix maxima of ends
         self._maxes: list = []
         self._len = 0
@@ -100,8 +151,10 @@ class IntervalIndex:
         return self._len
 
     def __iter__(self) -> Iterator[Interval]:
-        for chunk in self._vals:
-            yield from chunk
+        for ci, chunk in enumerate(self._keys):
+            ends = self._ends[ci]
+            for j, (start, owner) in enumerate(chunk):
+                yield Interval(start, ends[j], owner)
 
     # ------------------------------------------------------------------
     # Mutation
@@ -109,12 +162,17 @@ class IntervalIndex:
 
     def add(self, interval: Interval) -> None:
         """Insert an interval; duplicate (start, owner) pairs overwrite."""
-        key = (interval.start, interval.owner)
+        self.insert(interval.start, interval.end, interval.owner)
+
+    def insert(self, start: int, end: int, owner: Any) -> None:
+        """Columnar :meth:`add`: insert ``[start, end]`` owned by ``owner``
+        without constructing an :class:`Interval` record."""
+        key = (start, owner)
         maxes = self._maxes
         if not maxes:
             self._keys.append([key])
-            self._vals.append([interval])
-            self._reach.append([interval.end])
+            self._ends.append([end])
+            self._reach.append([end])
             maxes.append(key)
             self._len = 1
             return
@@ -124,20 +182,20 @@ class IntervalIndex:
             ci -= 1
             chunk = self._keys[ci]
             chunk.append(key)
-            self._vals[ci].append(interval)
+            self._ends[ci].append(end)
             reach = self._reach[ci]
             prev = reach[-1]
-            reach.append(prev if prev >= interval.end else interval.end)
+            reach.append(prev if prev >= end else end)
             maxes[ci] = key
         else:
             chunk = self._keys[ci]
             j = bisect_left(chunk, key)
             if chunk[j] == key:
-                self._vals[ci][j] = interval
+                self._ends[ci][j] = end
                 self._fix_reach(ci, j)
                 return
             chunk.insert(j, key)
-            self._vals[ci].insert(j, interval)
+            self._ends[ci].insert(j, end)
             self._reach[ci].insert(j, 0)  # placeholder, fixed below
             self._fix_reach(ci, j)
         self._len += 1
@@ -155,12 +213,12 @@ class IntervalIndex:
                 j = bisect_left(chunk, key)
                 if chunk[j] == key:
                     del chunk[j]
-                    del self._vals[ci][j]
+                    del self._ends[ci][j]
                     del self._reach[ci][j]
                     self._len -= 1
                     if not chunk:
                         del self._keys[ci]
-                        del self._vals[ci]
+                        del self._ends[ci]
                         del self._reach[ci]
                         del maxes[ci]
                     else:
@@ -200,25 +258,81 @@ class IntervalIndex:
             reach = self._reach[ci]
             if reach[-1] < q_start:
                 continue  # nothing in this chunk reaches the query
-            vals = self._vals[ci]
+            chunk = key_chunks[ci]
+            ends = self._ends[ci]
             j = bisect_left(reach, q_start)
-            scanned += len(vals) - j
-            for iv in vals[j:]:
-                if iv.end >= q_start:
-                    hits.append(iv)
+            scanned += len(ends) - j
+            for i in range(j, len(ends)):
+                end = ends[i]
+                if end >= q_start:
+                    start, owner = chunk[i]
+                    hits.append(Interval(start, end, owner))
         if full < n_chunks:
             chunk = key_chunks[full]
             j_hi = bisect_right(chunk, bound)
             scanned += 1
             if j_hi:
                 reach = self._reach[full]
-                vals = self._vals[full]
+                ends = self._ends[full]
                 j = bisect_left(reach, q_start, 0, j_hi)
                 scanned += j_hi - j
-                for iv in vals[j:j_hi]:
-                    if iv.end >= q_start:
-                        hits.append(iv)
+                for i in range(j, j_hi):
+                    end = ends[i]
+                    if end >= q_start:
+                        start, owner = chunk[i]
+                        hits.append(Interval(start, end, owner))
         self.scan_steps += scanned
+        return hits
+
+    def overlap_add(self, start: int, end: int, owner: Any) -> List[Tuple[Any, int]]:
+        """Query-then-insert fused for the checker's step ②.
+
+        Returns ``(owner, end)`` pairs of the stored intervals overlapping
+        ``[start, end]`` — excluding intervals owned by ``owner`` itself —
+        then inserts the interval.  One call replaces the overlap query,
+        the self-hit filter, and the insert that every written key
+        performs per transaction, and the scan runs over the columnar int
+        arrays only; ``scan_steps`` accounting is identical to
+        :meth:`overlapping`.
+        """
+        maxes = self._maxes
+        hits: List[Tuple[Any, int]] = []
+        if maxes:
+            bound = (end, _OWNER_MAX)
+            full = bisect_left(maxes, bound)
+            n_chunks = len(maxes)
+            scanned = full
+            for ci in range(full):
+                reach = self._reach[ci]
+                if reach[-1] < start:
+                    continue
+                chunk = self._keys[ci]
+                ends = self._ends[ci]
+                j = bisect_left(reach, start)
+                scanned += len(ends) - j
+                for i in range(j, len(ends)):
+                    hit_end = ends[i]
+                    if hit_end >= start:
+                        hit_owner = chunk[i][1]
+                        if hit_owner != owner:
+                            hits.append((hit_owner, hit_end))
+            if full < n_chunks:
+                chunk = self._keys[full]
+                j_hi = bisect_right(chunk, bound)
+                scanned += 1
+                if j_hi:
+                    reach = self._reach[full]
+                    ends = self._ends[full]
+                    j = bisect_left(reach, start, 0, j_hi)
+                    scanned += j_hi - j
+                    for i in range(j, j_hi):
+                        hit_end = ends[i]
+                        if hit_end >= start:
+                            hit_owner = chunk[i][1]
+                            if hit_owner != owner:
+                                hits.append((hit_owner, hit_end))
+            self.scan_steps += scanned
+        self.insert(start, end, owner)
         return hits
 
     def first_start_after(self, point: int) -> Optional[Interval]:
@@ -231,7 +345,8 @@ class IntervalIndex:
         if ci == len(maxes):
             return None
         j = bisect_right(self._keys[ci], bound)
-        return self._vals[ci][j]
+        start, owner = self._keys[ci][j]
+        return Interval(start, self._ends[ci][j], owner)
 
     def pop_ending_before(self, point: int) -> List[Interval]:
         """Remove and return intervals wholly before ``point`` (end < point).
@@ -255,31 +370,35 @@ class IntervalIndex:
             if chunk[0] >= low_bound:
                 break  # all remaining starts >= point -> all survive
             reach = self._reach[ci]
+            ends = self._ends[ci]
             if reach[-1] < point:
                 # Every interval in the chunk ends below the watermark
                 # (and therefore also starts below it): drop the chunk
                 # wholesale without examining entries.
-                doomed.extend(self._vals[ci])
+                doomed.extend(
+                    Interval(key[0], ends[j], key[1]) for j, key in enumerate(chunk)
+                )
                 del self._keys[ci]
-                del self._vals[ci]
+                del self._ends[ci]
                 del self._reach[ci]
                 del maxes[ci]
                 continue
             # Mixed chunk: filter in place.  Only starts below the
             # watermark are candidates; later entries survive untouched.
             j_hi = bisect_left(chunk, low_bound)
-            vals = self._vals[ci]
-            dead = [j for j in range(j_hi) if vals[j].end < point]
+            dead = [j for j in range(j_hi) if ends[j] < point]
             examined += j_hi - len(dead)
             if dead:
-                doomed.extend(vals[j] for j in dead)
+                doomed.extend(
+                    Interval(chunk[j][0], ends[j], chunk[j][1]) for j in dead
+                )
                 for j in reversed(dead):
                     del chunk[j]
-                    del vals[j]
+                    del ends[j]
                     del reach[j]
                 if not chunk:
                     del self._keys[ci]
-                    del self._vals[ci]
+                    del self._ends[ci]
                     del self._reach[ci]
                     del maxes[ci]
                     continue
@@ -296,34 +415,34 @@ class IntervalIndex:
 
     def _fix_reach(self, ci: int, j: int) -> None:
         """Recompute the reach suffix of chunk ``ci`` from position ``j``."""
-        vals = self._vals[ci]
+        ends = self._ends[ci]
         reach = self._reach[ci]
-        running = reach[j - 1] if j else vals[0].end
+        running = reach[j - 1] if j else ends[0]
         if not j:
             reach[0] = running
             j = 1
-        for i in range(j, len(vals)):
-            end = vals[i].end
+        for i in range(j, len(ends)):
+            end = ends[i]
             if end > running:
                 running = end
             reach[i] = running
 
     def _split(self, ci: int) -> None:
         keys = self._keys[ci]
-        vals = self._vals[ci]
+        ends = self._ends[ci]
         reach = self._reach[ci]
         half = len(keys) >> 1
         self._keys[ci] = keys[:half]
-        self._vals[ci] = vals[:half]
+        self._ends[ci] = ends[:half]
         self._keys.insert(ci + 1, keys[half:])
-        self._vals.insert(ci + 1, vals[half:])
+        self._ends.insert(ci + 1, ends[half:])
         self._maxes.insert(ci, keys[half - 1])
         # The left half keeps its prefix of the existing reach array
         # verbatim; only the right half's maxima start over.
         right: List[int] = []
         running = None
-        for iv in self._vals[ci + 1]:
-            running = iv.end if running is None or iv.end > running else running
+        for end in self._ends[ci + 1]:
+            running = end if running is None or end > running else running
             right.append(running)
         self._reach[ci] = reach[:half]
         self._reach.insert(ci + 1, right)

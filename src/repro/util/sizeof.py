@@ -18,27 +18,51 @@ are sized inline instead of round-tripping through the generic
 memoized stack.  Memory sampling runs *inside* capped-memory
 experiments, so the sampler must stay cheap relative to the checker.
 
-Accounting tolerance: the fast path does not identity-memoize scalar
+The flat layouts the batch kernel introduced (PR 6) get the same
+treatment: the versioned structures' adaptive small-key representation
+(``(ts_list, payload_list)`` parallel lists), their lazy GC min-heaps of
+``(commit_ts, key)`` entries, and :class:`~repro.util.intervals.Interval`
+``__slots__`` records are all sized inline — a checker under a memory
+cap holds millions of these, and pushing each through the memoized
+stack made the sampler a profile line of its own.  The versioned
+structures live a layer above this module, so they contribute their fast
+paths through :func:`register_sizer` instead of being imported here
+(keeping the util layer dependency-free, and letting the module that
+owns a layout own its accounting).
+
+Accounting tolerance: the fast paths do not identity-memoize scalar
 keys, so a small interned int appearing as both a key and a value can
 be counted twice where the skiplist-era walk counted it once; ``maxes``
-entries alias chunk keys and are deliberately *not* re-counted.  Both
-effects are bounded by a few machine words per entry — well within the
-run-to-run noise of the memory figures, and the relative comparisons
-(checker vs checker, sawtooth over time) the figures make are
-unaffected.
+entries alias chunk keys and heap-entry keys alias index keys, so
+neither is re-counted.  Both effects are bounded by a few machine words
+per entry — well within the run-to-run noise of the memory figures, and
+the relative comparisons (checker vs checker, sawtooth over time) the
+figures make are unaffected.
 """
 
 from __future__ import annotations
 
 import sys
-from typing import Any, Iterable, List, Optional, Set
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set
 
-from repro.util.intervals import IntervalIndex
+from repro.util.intervals import Interval, IntervalIndex
 from repro.util.sortedmap import SortedMap
 
-__all__ = ["deep_sizeof"]
+__all__ = ["deep_sizeof", "register_sizer"]
 
 _ATOMIC = (str, bytes, bytearray, int, float, complex, bool, type(None))
+
+#: Exact-type dispatch table of inline fast paths.  A sizer receives
+#: ``(obj, stack)`` — the object to account and the walk's work stack —
+#: and returns the bytes it counted *beyond* ``sys.getsizeof(obj)``
+#: (already added by the walk); rich sub-objects it does not size inline
+#: go onto ``stack`` for the generic memoized walk.
+_SIZERS: Dict[type, Callable[[Any, List[Any]], int]] = {}
+
+
+def register_sizer(cls: type, sizer: Callable[[Any, List[Any]], int]) -> None:
+    """Register an inline fast path for instances of exactly ``cls``."""
+    _SIZERS[cls] = sizer
 
 
 def deep_sizeof(obj: Any, *, _seen: Optional[Set[int]] = None) -> int:
@@ -71,15 +95,31 @@ def deep_sizeof(obj: Any, *, _seen: Optional[Set[int]] = None) -> int:
         if isinstance(current, (list, tuple, set, frozenset)):
             stack.extend(current)
             continue
+        sizer = _SIZERS.get(type(current))
+        if sizer is not None:
+            total += sizer(current, stack)
+            continue
         if isinstance(current, SortedMap):
             total += _chunked_bytes(
                 current._keys, current._vals, current._maxes, None, stack
             )
             continue
         if isinstance(current, IntervalIndex):
-            total += _chunked_bytes(
-                current._keys, current._vals, current._maxes, current._reach, stack
-            )
+            # Columnar layout: keys are (start, owner) tuples, ends and
+            # reach are parallel plain-int chunks sized inline.
+            total += sys.getsizeof(current._keys) + sys.getsizeof(current._maxes)
+            for chunk in current._keys:
+                total += sys.getsizeof(chunk)
+                for key in chunk:
+                    total += (
+                        sys.getsizeof(key)
+                        + sys.getsizeof(key[0])
+                        + sys.getsizeof(key[1])
+                    )
+            for column in (current._ends, current._reach):
+                total += sys.getsizeof(column)
+                for chunk in column:
+                    total += sys.getsizeof(chunk) + sum(map(sys.getsizeof, chunk))
             continue
 
         # Generic objects: follow __dict__ and __slots__.
@@ -137,3 +177,21 @@ def _all_slots(cls: type) -> Iterable[str]:
             yield slots
         else:
             yield from slots
+
+
+def _interval_bytes(interval: Interval, stack: List[Any]) -> int:
+    """Inline the three scalar fields instead of three stack round trips.
+
+    NOCONFLICT state holds one Interval per resident write; the fields
+    are timestamps and a tid, all sized directly (no memoization — the
+    tolerance argument in the module docstring applies).
+    """
+    getsizeof = sys.getsizeof
+    return (
+        getsizeof(interval.start)
+        + getsizeof(interval.end)
+        + getsizeof(interval.owner)
+    )
+
+
+register_sizer(Interval, _interval_bytes)

@@ -1,0 +1,234 @@
+"""GC min-heap churn tests: heap-driven eviction ≡ full-walk oracle.
+
+PR 6 replaced ``evict_below``'s full walk over every key with a lazy
+min-heap of ``(commit_ts, key)`` entries — one pushed per new version or
+interval — so a GC cycle costs the keys that actually hold evictable
+state.  The laziness has sharp edges these tests pin against naive
+models that re-scan everything:
+
+- a key's *kept newest* evictable version gets no fresh heap entry, and
+  must still be evicted once a newer version's entry pops in a later
+  cycle;
+- duplicate and stale heap entries (replaced versions, already-evicted
+  keys) must be harmless;
+- after ``evict_below(ts)`` no remaining frontier entry may be ≤ ts and
+  no interval entry < ts (no stale minima — the early-return guard
+  depends on it);
+- reload-on-demand re-inserts *below* the collected boundary, and the
+  re-pushed entries must make the next cycle evict them again.
+"""
+
+from random import Random
+
+import pytest
+
+from repro.core.aion import Aion, AionConfig
+from repro.core.versioned import VersionedFrontier, WriterIntervals
+
+from test_differential import session_respecting_shuffle, small_history
+
+
+class FrontierOracle:
+    """Full-walk model of :meth:`VersionedFrontier.evict_below`:
+    among each key's versions with ``commit_ts <= ts``, keep the newest,
+    evict the rest."""
+
+    def __init__(self):
+        self.by_key = {}
+
+    def insert(self, key, commit_ts, value, tid):
+        self.by_key.setdefault(key, {})[commit_ts] = (value, tid)
+
+    def evict_below(self, ts):
+        evicted = {}
+        for key, versions in self.by_key.items():
+            below = sorted(cts for cts in versions if cts <= ts)
+            if len(below) < 2:
+                continue
+            evicted[key] = [
+                (cts, versions[cts][0], versions[cts][1]) for cts in below[:-1]
+            ]
+            for cts in below[:-1]:
+                del versions[cts]
+        return evicted
+
+    def versions_of(self, key):
+        return sorted(self.by_key.get(key, {}).items())
+
+
+class WriterOracle:
+    """Full-walk model of :meth:`WriterIntervals.evict_below`:
+    evict every interval with ``end < ts`` (duplicates included)."""
+
+    def __init__(self):
+        self.by_key = {}
+
+    def add(self, key, start_ts, commit_ts, tid):
+        self.by_key.setdefault(key, []).append((start_ts, commit_ts, tid))
+
+    def evict_below(self, ts):
+        evicted = {}
+        for key, intervals in self.by_key.items():
+            gone = [iv for iv in intervals if iv[1] < ts]
+            if gone:
+                evicted[key] = gone
+                self.by_key[key] = [iv for iv in intervals if iv[1] >= ts]
+        return evicted
+
+
+def normalized(evicted):
+    return {key: sorted(items) for key, items in evicted.items() if items}
+
+
+def assert_frontier_heap_invariant(frontier, ts):
+    assert all(entry[0] > ts for entry in frontier._gc_heap), (
+        f"stale frontier heap minima at or below {ts}"
+    )
+
+
+def assert_writers_heap_invariant(writers, ts):
+    assert all(entry[0] >= ts for entry in writers._gc_heap), (
+        f"stale interval heap minima below {ts}"
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7, 99])
+def test_frontier_evict_matches_full_walk_under_churn(seed):
+    rng = Random(seed)
+    frontier = VersionedFrontier()
+    oracle = FrontierOracle()
+    keys = [f"k{i}" for i in range(12)]
+    watermark = 0
+    next_tid = 1
+    for step in range(600):
+        if rng.random() < 0.15:
+            # Mostly-monotone watermark, occasionally re-requesting an
+            # old one (which must be a cheap no-op, not a corruption).
+            watermark = max(watermark, rng.randint(0, step * 4)) if rng.random() < 0.8 else watermark
+            got = normalized(frontier.evict_below(watermark))
+            want = normalized(oracle.evict_below(watermark))
+            assert got == want, f"step {step} ts {watermark}"
+            assert_frontier_heap_invariant(frontier, watermark)
+        else:
+            key = rng.choice(keys)
+            cts = rng.randint(0, step * 4 + 4)
+            value = rng.randint(0, 5)
+            frontier.insert(key, cts, value, next_tid)
+            oracle.insert(key, cts, value, next_tid)
+            next_tid += 1
+    # Drain: a final high watermark must leave exactly one version per key.
+    final = max(watermark, 600 * 4) + 1
+    assert normalized(frontier.evict_below(final)) == normalized(
+        oracle.evict_below(final)
+    )
+    assert_frontier_heap_invariant(frontier, final)
+    for key in keys:
+        if key in oracle.by_key and oracle.by_key[key]:
+            assert len(oracle.by_key[key]) == 1
+
+
+@pytest.mark.parametrize("seed", [0, 3, 42, 1213])
+def test_writer_intervals_evict_matches_full_walk_under_churn(seed):
+    rng = Random(seed)
+    writers = WriterIntervals()
+    oracle = WriterOracle()
+    keys = [f"k{i}" for i in range(8)]
+    watermark = 0
+    next_tid = 1
+    for step in range(600):
+        if rng.random() < 0.15:
+            watermark = max(watermark, rng.randint(0, step * 4))
+            got = normalized(writers.evict_below(watermark))
+            want = normalized(oracle.evict_below(watermark))
+            assert got == want, f"step {step} ts {watermark}"
+            assert_writers_heap_invariant(writers, watermark)
+        else:
+            key = rng.choice(keys)
+            end = rng.randint(0, step * 4 + 4)
+            start = max(0, end - rng.randint(0, 20))
+            if rng.random() < 0.5:
+                writers.add(key, start, end, next_tid)
+            else:
+                writers.overlap_add(key, start, end, next_tid)
+            oracle.add(key, start, end, next_tid)
+            next_tid += 1
+    final = max(watermark, 600 * 4) + 1
+    assert normalized(writers.evict_below(final)) == normalized(
+        oracle.evict_below(final)
+    )
+    assert_writers_heap_invariant(writers, final)
+    assert len(writers) == sum(len(ivs) for ivs in oracle.by_key.values())
+
+
+def test_kept_newest_version_is_recovered_by_later_entries():
+    """The retained newest-evictable version gets no fresh heap entry;
+    a later version's entry must re-cover it."""
+    frontier = VersionedFrontier()
+    frontier.insert("k", 1, "a", 1)
+    frontier.insert("k", 2, "b", 2)
+    assert frontier.evict_below(10) == {"k": [(1, "a", 1)]}
+    # Version 2 survives as the visible floor, with no heap entry left.
+    assert frontier.value_at("k", 10) == "b"
+    assert frontier.evict_below(10) == {}  # cheap no-op, nothing stale
+    frontier.insert("k", 12, "c", 3)
+    # 12's entry pops and re-covers the key: 2 is no longer the newest
+    # evictable version, so it must leave now.
+    assert frontier.evict_below(15) == {"k": [(2, "b", 2)]}
+    assert frontier.value_at("k", 20) == "c"
+    assert_frontier_heap_invariant(frontier, 15)
+
+
+def test_reload_reinserts_repush_heap_entries():
+    """Merging spilled state back (reload-on-demand) must make those
+    versions evictable again in the next cycle."""
+    frontier = VersionedFrontier()
+    for cts in (1, 2, 3):
+        frontier.insert("k", cts, f"v{cts}", cts)
+    evicted = frontier.evict_below(100)
+    assert evicted == {"k": [(1, "v1", 1), (2, "v2", 2)]}
+    frontier.merge(evicted)
+    assert normalized(frontier.evict_below(100)) == normalized(evicted)
+    assert_frontier_heap_invariant(frontier, 100)
+
+    writers = WriterIntervals()
+    for end in (5, 6, 7):
+        writers.add("k", 0, end, end)
+    evicted = writers.evict_below(100)
+    assert normalized(evicted) == {"k": [(0, 5, 5), (0, 6, 6), (0, 7, 7)]}
+    writers.merge(evicted)
+    assert normalized(writers.evict_below(100)) == normalized(evicted)
+    assert_writers_heap_invariant(writers, 100)
+
+
+def test_duplicate_and_replaced_versions_are_harmless():
+    """Replacing a version's payload pushes a duplicate heap entry for
+    the same (commit_ts, key); eviction must count the version once."""
+    frontier = VersionedFrontier()
+    for _ in range(5):
+        frontier.insert("k", 3, "x", 9)  # same version, re-inserted
+    frontier.insert("k", 8, "y", 10)
+    assert len(frontier) == 2
+    assert frontier.evict_below(50) == {"k": [(3, "x", 9)]}
+    assert len(frontier) == 1
+    assert frontier.evict_below(50) == {}
+    assert_frontier_heap_invariant(frontier, 50)
+
+
+def test_aion_gc_cycles_keep_heap_invariants():
+    """End-to-end sawtooth: batched kernel ingestion with periodic GC
+    leaves no stale heap minima and keeps repeat collections no-ops."""
+    history = small_history(21, n=150)
+    arrival = session_respecting_shuffle(history, Random(21))
+    checker = Aion(AionConfig(timeout=float("inf")), clock=lambda: 0.0)
+    try:
+        for offset in range(0, len(arrival), 30):
+            checker.receive_many(arrival[offset : offset + 30])
+            report = checker.collect_below(None)
+            boundary = report.effective_ts
+            assert_frontier_heap_invariant(checker._frontier, boundary)
+            assert_writers_heap_invariant(checker._writers, boundary)
+            again = checker.collect_below(boundary)
+            assert again.evicted_versions == 0
+            assert again.evicted_intervals == 0
+    finally:
+        checker.close()
