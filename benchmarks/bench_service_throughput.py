@@ -1,35 +1,65 @@
+#!/usr/bin/env python3
 """End-to-end wire throughput of the checker daemon vs in-process ingestion.
 
 The service subsystem's cost question: what does the wire add on top of
 the batched ingestion kernel?  The same commit-ordered transaction
-stream is drained three ways —
+stream is drained through every frontend —
 
 - ``Aion.receive_many`` fed directly (the in-process ceiling);
-- one client streaming collector-sized batches over localhost TCP into
-  the daemon, wall time measured from first submit to drain-complete
-  (ndjson encode + socket + decode + queue + the same batch kernel);
-- four concurrent clients, sessions partitioned across connections (the
-  deployment shape: one producer per database node).
+- the v1 ndjson codec, one client and four concurrent clients;
+- the v2 binary frame codec (columnar submit batches), one client and
+  four concurrent clients —
 
-Shape claims: every frontend reports identical verdicts, and the wire
-path sustains a usable fraction of the in-process rate (the protocol is
-JSON over TCP in pure Python — parity is not the claim; usability and
-equivalence are).
+with wall time measured from first submit to drain-complete, so each
+number covers encode + socket + decode + queue + the same batch kernel.
+
+Shape claims: every frontend reports identical verdicts; the v1 wire
+sustains a usable fraction of the in-process rate; and the v2 codec
+recovers most of what ndjson gives away (the tentpole claim recorded in
+``BENCH_service.json``: single-client v2 within 1.2x of in-process and
+at least 2x the ndjson rate on the fig12b smoke workload).
+
+Standalone runs append a trajectory row::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py --label my-change
+
+while ``pytest benchmarks/bench_service_throughput.py`` runs the smoke
+comparison without recording.
 """
 
+from __future__ import annotations
+
 import gc as host_gc
+import json
+import platform
+import sys
 import threading
 import time
+from pathlib import Path
 
-from repro.bench import cached_default_history, pick, write_result
-from repro.core.aion import Aion, AionConfig
-from repro.service import CheckerClient, ServiceConfig, ServiceThread
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:  # direct `python benchmarks/...` runs
+    sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.bench import cached_default_history, pick, write_result  # noqa: E402
+from repro.core.aion import Aion, AionConfig  # noqa: E402
+from repro.online.collector import HistoryCollector  # noqa: E402
+from repro.online.delays import NormalDelay  # noqa: E402
+from repro.service import CheckerClient, ServiceConfig, ServiceThread  # noqa: E402
+
+TRAJECTORY_PATH = REPO_ROOT / "BENCH_service.json"
 BATCH = 500
 
 
-def _stream(history):
-    return history.by_commit_ts()
+def fig12b_txns(n):
+    """The Fig-12b arrival stream the hot-path benchmarks also drain."""
+    history = cached_default_history(
+        n_sessions=24, n_transactions=n, ops_per_txn=8, n_keys=1000, seed=1213
+    )
+    collector = HistoryCollector(
+        batch_size=BATCH, arrival_tps=10_000, delay_model=NormalDelay(100, 10), seed=12
+    )
+    return [txn for _, txn in collector.schedule(history)]
 
 
 def _in_process(txns):
@@ -44,13 +74,15 @@ def _in_process(txns):
     return elapsed, violations
 
 
-def _via_service(txns, *, n_clients):
+def _via_service(txns, *, n_clients, protocol):
     host_gc.collect()
     config = ServiceConfig(
         port=0,
         timeout=float("inf"),
         batch_size=BATCH,
-        queue_capacity=4 * BATCH,
+        # Deep enough that TCP backpressure, not queue waits, paces the
+        # producers: the reader never parks mid-run with the checker idle.
+        queue_capacity=16 * BATCH,
     )
     with ServiceThread(config) as handle:
         host, port = handle.tcp_address
@@ -61,7 +93,7 @@ def _via_service(txns, *, n_clients):
 
         def produce(mine):
             try:
-                client = CheckerClient(host, port)
+                client = CheckerClient(host, port, protocol=protocol)
                 client.connect()
                 with client:
                     for offset in range(0, len(mine), BATCH):
@@ -70,7 +102,7 @@ def _via_service(txns, *, n_clients):
                     # proves every submit above was admitted to the
                     # ingest queue — without it, the control drain below
                     # could join a momentarily-empty queue while this
-                    # producer's trailing lines are still being parsed.
+                    # producer's trailing frames are still being parsed.
                     client.ping()
             except Exception as exc:  # pragma: no cover - surfaced below
                 errors.append(exc)
@@ -93,36 +125,56 @@ def _via_service(txns, *, n_clients):
         return elapsed, len(result.violations)
 
 
-def _run():
-    n = pick(4_000, 20_000, 100_000)
-    history = cached_default_history(
-        n_sessions=24, n_transactions=n, ops_per_txn=8, n_keys=1000, seed=2214
-    )
-    txns = _stream(history)
-    frontends = [
-        ("Aion in-process batched", lambda: _in_process(txns)),
-        ("service, 1 client", lambda: _via_service(txns, n_clients=1)),
-        ("service, 4 clients", lambda: _via_service(txns, n_clients=4)),
+FRONTENDS = [
+    ("Aion in-process batched", lambda txns: _in_process(txns)),
+    ("ndjson v1, 1 client", lambda txns: _via_service(txns, n_clients=1, protocol=1)),
+    ("ndjson v1, 4 clients", lambda txns: _via_service(txns, n_clients=4, protocol=1)),
+    ("frames v2, 1 client", lambda txns: _via_service(txns, n_clients=1, protocol=2)),
+    ("frames v2, 4 clients", lambda txns: _via_service(txns, n_clients=4, protocol=2)),
+]
+
+
+def run_frontends(txns, repeats=1):
+    # Rounds interleave the frontends (round-robin, best-of per
+    # frontend) so slow drift in machine load lands on every frontend
+    # instead of biasing whichever happened to run last.
+    best = {label: float("inf") for label, _ in FRONTENDS}
+    violations = {}
+    for _ in range(repeats):
+        for label, run in FRONTENDS:
+            elapsed, got = run(txns)
+            if label in violations:
+                assert got == violations[label], (label, got, violations[label])
+            violations[label] = got
+            best[label] = min(best[label], elapsed)
+    rows = [
+        {
+            "frontend": label,
+            "txns": len(txns),
+            "wall_s": round(best[label], 3),
+            "tps": round(len(txns) / best[label]),
+            "violations": violations[label],
+        }
+        for label, _ in FRONTENDS
     ]
-    rows = []
-    for label, run in frontends:
-        elapsed, violations = run()
-        rows.append(
-            {
-                "frontend": label,
-                "txns": len(txns),
-                "wall_s": round(elapsed, 3),
-                "tps": round(len(txns) / elapsed),
-                "violations": violations,
-            }
-        )
     baseline = rows[0]["tps"]
     for row in rows:
         row["vs_in_process"] = round(row["tps"] / baseline, 3)
     return rows
 
 
+# ----------------------------------------------------------------------
+# pytest entry (smoke comparison, no trajectory write)
+# ----------------------------------------------------------------------
+
 def test_service_throughput(run_once):
+    def _run():
+        n = pick(4_000, 20_000, 100_000)
+        history = cached_default_history(
+            n_sessions=24, n_transactions=n, ops_per_txn=8, n_keys=1000, seed=2214
+        )
+        return run_frontends(history.by_commit_ts())
+
     rows = run_once(_run)
     print()
     print(
@@ -130,14 +182,95 @@ def test_service_throughput(run_once):
             "service_throughput",
             rows,
             title="End-to-end wire throughput vs in-process batched ingestion",
-            notes="Claim: identical verdicts through the wire; the daemon "
-            "sustains a usable fraction of the in-process ingestion rate.",
+            notes="Claim: identical verdicts through the wire on both codecs; "
+            "v2 frames recover most of the throughput ndjson gives away.",
         )
     )
     by = {row["frontend"]: row for row in rows}
     verdicts = {row["violations"] for row in rows}
     assert len(verdicts) == 1, rows
-    # The wire costs real work (JSON + TCP in pure Python); it must still
-    # deliver a usable share of the in-process rate, not collapse.
-    assert by["service, 1 client"]["tps"] > 0.05 * by["Aion in-process batched"]["tps"], by
-    assert by["service, 4 clients"]["tps"] > 0.05 * by["Aion in-process batched"]["tps"], by
+    # The v1 wire costs real work (JSON + TCP in pure Python); it must
+    # still deliver a usable share of the in-process rate, not collapse.
+    assert by["ndjson v1, 1 client"]["tps"] > 0.05 * by["Aion in-process batched"]["tps"], by
+    assert by["ndjson v1, 4 clients"]["tps"] > 0.05 * by["Aion in-process batched"]["tps"], by
+    # The v2 codec exists to beat ndjson; a strict 2x gate lives in the
+    # recorded trajectory (timing gates flake on shared CI runners), but
+    # even here it must not lose to the codec it replaces.
+    assert by["frames v2, 1 client"]["tps"] > by["ndjson v1, 1 client"]["tps"], by
+
+
+# ----------------------------------------------------------------------
+# Standalone entry: record a BENCH_service.json trajectory row
+# ----------------------------------------------------------------------
+
+_RESULT_KEYS = {
+    "Aion in-process batched": "in_process",
+    "ndjson v1, 1 client": "ndjson_1_client",
+    "ndjson v1, 4 clients": "ndjson_4_clients",
+    "frames v2, 1 client": "v2_1_client",
+    "frames v2, 4 clients": "v2_4_clients",
+}
+
+
+def record_entry(label, sizes, results):
+    if TRAJECTORY_PATH.exists():
+        payload = json.loads(TRAJECTORY_PATH.read_text(encoding="utf-8"))
+    else:
+        payload = {"figure": "service", "trajectory": []}
+    payload["trajectory"].append(
+        {
+            "label": label,
+            "recorded": time.strftime("%Y-%m-%d %H:%M:%S"),
+            "python": platform.python_version(),
+            "sizes": sizes,
+            "results": results,
+        }
+    )
+    TRAJECTORY_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return payload
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", default="unlabelled", help="trajectory entry label")
+    parser.add_argument("--n", type=int, default=4_000, help="fig12b transaction count")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--no-record", action="store_true", help="do not append to BENCH_service.json"
+    )
+    args = parser.parse_args(argv)
+
+    txns = fig12b_txns(args.n)
+    rows = run_frontends(txns, repeats=args.repeats)
+    by = {row["frontend"]: row for row in rows}
+    results = {}
+    for row in rows:
+        entry = {"tps": row["tps"], "violations": row["violations"]}
+        if row["frontend"] != "Aion in-process batched":
+            entry["vs_in_process"] = row["vs_in_process"]
+        if row["frontend"].startswith("frames v2"):
+            entry["vs_ndjson"] = round(
+                row["tps"] / by["ndjson v1, 1 client"]["tps"], 3
+            )
+        results[_RESULT_KEYS[row["frontend"]]] = entry
+
+    for row in rows:
+        print(
+            f"{row['frontend']:>26}: {row['tps']:>8,} tps "
+            f"({row['vs_in_process']:.3f}x in-process, {row['violations']} violations)"
+        )
+    if len({row["violations"] for row in rows}) != 1:
+        print("FAIL: frontends disagree on verdicts")
+        return 1
+
+    if not args.no_record:
+        sizes = {"fig12b_n": args.n, "batch": BATCH, "repeats": args.repeats}
+        record_entry(args.label, sizes, results)
+        print(f"recorded trajectory entry {args.label!r} -> {TRAJECTORY_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

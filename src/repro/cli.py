@@ -140,6 +140,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="max transactions per receive_many drain cycle")
     serve.add_argument("--gc-threshold", type=int, default=0,
                        help="collect when this many transactions are resident (0 = off)")
+    serve.add_argument("--protocol", default="v2", choices=["v1", "v2"],
+                        help="highest wire protocol to offer (v2 frames "
+                        "still accept ndjson; v1 pins ndjson only)")
     serve.add_argument("--gc-keep-recent", type=int, default=None,
                        help="residents spared per GC cycle (default: half the threshold)")
     serve.set_defaults(handler=_cmd_serve)
@@ -165,6 +168,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="workload seed for --generate")
     replay.add_argument("--connect-timeout", type=float, default=10.0,
                         help="seconds to keep retrying the initial connection")
+    replay.add_argument("--protocol", default="auto", choices=["auto", "v1", "v2"],
+                        help="wire codec: auto negotiates the highest the "
+                        "daemon offers, v1 pins ndjson, v2 requires frames")
     replay.add_argument("--shutdown", action="store_true",
                         help="shut the daemon down after the replay (graceful drain)")
     replay.add_argument("--expect", default="any",
@@ -309,6 +315,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         gc_threshold=args.gc_threshold,
         gc_keep_recent=args.gc_keep_recent,
+        protocol=args.protocol,
     )
     try:
         config.validate()
@@ -381,7 +388,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         )
     txns = transactions_in_commit_order(source)
 
-    client = CheckerClient(args.host, args.port, unix_path=args.unix)
+    preference = {"auto": None, "v1": 1, "v2": 2}[args.protocol]
+    client = CheckerClient(args.host, args.port, unix_path=args.unix, protocol=preference)
     try:
         client.connect(retry_for=args.connect_timeout)
     except OSError as exc:

@@ -52,8 +52,17 @@ from pathlib import Path
 from typing import Any, Callable, DefaultDict, Dict, List, Optional, Tuple
 
 from repro.core.common import BOTTOM, SessionTracker, simulate_transaction_ops, values_match
-from repro.core.ext_status import ExtStatusTracker, ExtVerdict, FlipFlopStats
-from repro.core.kernel import KernelStats, resolve_writes
+from repro.core.ext_status import (
+    EV_ACTUAL,
+    EV_EXPECTED,
+    EV_KEY,
+    EV_SNAPSHOT_TS,
+    EV_TID,
+    ExtStatusTracker,
+    ExtVerdict,
+    FlipFlopStats,
+)
+from repro.core.kernel import KernelStats, resolve_columns, resolve_writes
 from repro.core.spill import SpillStore
 from repro.core.versioned import (
     ExtReadIndex,
@@ -71,6 +80,7 @@ from repro.core.violations import (
     Violation,
 )
 from repro.histories.model import OpKind, Transaction
+from repro.histories.serialization import ColumnarBatch
 from repro.util.sizeof import deep_sizeof
 from repro.util.sortedmap import SortedMap
 
@@ -291,15 +301,23 @@ class Aion:
         # Validate the whole batch before mutating any state: a rejected
         # append mid-loop would otherwise leave earlier batch members
         # tracked but timer-less.
-        if not isinstance(txns, (list, tuple)):
-            txns = list(txns)
-        for txn in txns:
-            for op in txn.ops:
-                if op.kind is OpKind.APPEND:
-                    raise ValueError(
-                        "Aion checks key-value histories online; list (append) "
-                        "histories are checked offline by Chronos"
-                    )
+        batch = txns if isinstance(txns, ColumnarBatch) else None
+        if batch is not None:
+            if batch.has_appends:
+                raise ValueError(
+                    "Aion checks key-value histories online; list (append) "
+                    "histories are checked offline by Chronos"
+                )
+        else:
+            if not isinstance(txns, (list, tuple)):
+                txns = list(txns)
+            for txn in txns:
+                for op in txn.ops:
+                    if op.kind is OpKind.APPEND:
+                        raise ValueError(
+                            "Aion checks key-value histories online; list (append) "
+                            "histories are checked offline by Chronos"
+                        )
         now = self._clock()
         ext = self._ext
         ext.advance_to(now)
@@ -326,21 +344,40 @@ class Aion:
         # transactions can observe it.
         if self._spill is not None and len(self._spill) > 0:
             need_reload = False
-            if collected is not None:
-                for txn in txns:
-                    if txn.start_ts <= collected and txn.start_ts <= txn.commit_ts:
-                        need_reload = True
-                        break
-            if not need_reload and not optimized:
-                for txn in txns:
-                    if txn.start_ts > txn.commit_ts:
-                        continue
-                    for op in txn.ops:
-                        if op.kind is OpKind.WRITE:
+            if batch is not None:
+                starts = batch.starts
+                commits = batch.commits
+                offsets = batch.op_offsets
+                kinds = batch.op_kinds
+                if collected is not None:
+                    for position in range(n):
+                        start_ts = starts[position]
+                        if start_ts <= collected and start_ts <= commits[position]:
                             need_reload = True
                             break
-                    if need_reload:
-                        break
+                if not need_reload and not optimized:
+                    for position in range(n):
+                        if starts[position] > commits[position]:
+                            continue
+                        if 1 in kinds[offsets[position] : offsets[position + 1]]:
+                            need_reload = True
+                            break
+            else:
+                if collected is not None:
+                    for txn in txns:
+                        if txn.start_ts <= collected and txn.start_ts <= txn.commit_ts:
+                            need_reload = True
+                            break
+                if not need_reload and not optimized:
+                    for txn in txns:
+                        if txn.start_ts > txn.commit_ts:
+                            continue
+                        for op in txn.ops:
+                            if op.kind is OpKind.WRITE:
+                                need_reload = True
+                                break
+                        if need_reload:
+                            break
             if need_reload:
                 self._reload_below(None)
 
@@ -372,48 +409,112 @@ class Aion:
         # batch position so report order matches the per-op path).
         entries: List[Tuple[Transaction, Optional[List[Violation]], int, int]] = []
         rejected: Dict[int, Violation] = {}
-        for position, txn in enumerate(txns):
-            tid = txn.tid
-            start_ts = txn.start_ts
-            commit_ts = txn.commit_ts
-            stats.route_ops += len(txn.ops)
-            if start_ts > commit_ts:  # Eq. 1 (lines 3:4–3:5)
-                rejected[position] = TimestampOrderViolation(
-                    axiom=Axiom.TS_ORDER,
-                    tid=tid,
-                    start_ts=start_ts,
-                    commit_ts=commit_ts,
+        if batch is not None:
+            # Columnar arrivals (wire frames, packed WALs): route straight
+            # off the batch's flat arrays — no Operation objects, no
+            # per-transaction derived views.  ``resolve_columns`` fuses the
+            # external-read detection into the INT/write simulation walk,
+            # and the Transaction objects entering the verdict pass are
+            # lazy (``from_parts``): their op tuples materialize only if
+            # something off the hot path (GC spill, repr) asks.
+            tids_col = batch.tids
+            starts_col = batch.starts
+            commits_col = batch.commits
+            offsets_col = batch.op_offsets
+            kinds_col = batch.op_kinds
+            keys_col = batch.op_keys
+            vals_col = batch.op_values
+            transaction_at = batch.transaction_at
+            for position in range(n):
+                tid = tids_col[position]
+                start_ts = starts_col[position]
+                commit_ts = commits_col[position]
+                lo = offsets_col[position]
+                hi = offsets_col[position + 1]
+                stats.route_ops += hi - lo
+                if start_ts > commit_ts:  # Eq. 1 (lines 3:4–3:5)
+                    rejected[position] = TimestampOrderViolation(
+                        axiom=Axiom.TS_ORDER,
+                        tid=tid,
+                        start_ts=start_ts,
+                        commit_ts=commit_ts,
+                    )
+                    continue
+                txn = transaction_at(position)
+                violation = sessions.observe(txn)  # lines 3:7–3:10
+                external, writes, int_mismatches = resolve_columns(
+                    kinds_col, keys_col, vals_col, lo, hi
                 )
-                continue
-            violation = sessions.observe(txn)  # lines 3:7–3:10
-            writes, int_mismatches = resolve_writes(txn.ops)
-            pre: Optional[List[Violation]] = None
-            if violation is not None or int_mismatches is not None:
-                pre = []
-                if violation is not None:
-                    pre.append(violation)
-                if int_mismatches is not None:
-                    for key, exp, act in int_mismatches:
-                        pre.append(
-                            IntViolation(
-                                axiom=Axiom.INT, tid=tid, key=key, expected=exp, actual=act
+                pre: Optional[List[Violation]] = None
+                if violation is not None or int_mismatches is not None:
+                    pre = []
+                    if violation is not None:
+                        pre.append(violation)
+                    if int_mismatches is not None:
+                        for key, exp, act in int_mismatches:
+                            pre.append(
+                                IntViolation(
+                                    axiom=Axiom.INT, tid=tid, key=key, expected=exp, actual=act
+                                )
                             )
-                        )
-            for key, op in txn.external_reads.items():
-                key_streams[key].append(len(r_keys) << 1)
-                r_keys_append(key)
-                r_ts_append(start_ts)
-                r_tids_append(tid)
-                r_vals_append(op.value)
-            w_lo = len(w_keys)
-            for key, value in writes.items():
-                key_streams[key].append((len(w_keys) << 1) | 1)
-                w_keys_append(key)
-                w_vals_append(value)
-                w_starts_append(start_ts)
-                w_cts_append(commit_ts)
-                w_tids_append(tid)
-            entries.append((txn, pre, w_lo, len(w_keys)))
+                for key, value in external:
+                    key_streams[key].append(len(r_keys) << 1)
+                    r_keys_append(key)
+                    r_ts_append(start_ts)
+                    r_tids_append(tid)
+                    r_vals_append(value)
+                w_lo = len(w_keys)
+                for key, value in writes.items():
+                    key_streams[key].append((len(w_keys) << 1) | 1)
+                    w_keys_append(key)
+                    w_vals_append(value)
+                    w_starts_append(start_ts)
+                    w_cts_append(commit_ts)
+                    w_tids_append(tid)
+                entries.append((txn, pre, w_lo, len(w_keys)))
+        else:
+            for position, txn in enumerate(txns):
+                tid = txn.tid
+                start_ts = txn.start_ts
+                commit_ts = txn.commit_ts
+                stats.route_ops += len(txn.ops)
+                if start_ts > commit_ts:  # Eq. 1 (lines 3:4–3:5)
+                    rejected[position] = TimestampOrderViolation(
+                        axiom=Axiom.TS_ORDER,
+                        tid=tid,
+                        start_ts=start_ts,
+                        commit_ts=commit_ts,
+                    )
+                    continue
+                violation = sessions.observe(txn)  # lines 3:7–3:10
+                writes, int_mismatches = resolve_writes(txn.ops)
+                pre = None
+                if violation is not None or int_mismatches is not None:
+                    pre = []
+                    if violation is not None:
+                        pre.append(violation)
+                    if int_mismatches is not None:
+                        for key, exp, act in int_mismatches:
+                            pre.append(
+                                IntViolation(
+                                    axiom=Axiom.INT, tid=tid, key=key, expected=exp, actual=act
+                                )
+                            )
+                for key, op in txn.external_reads.items():
+                    key_streams[key].append(len(r_keys) << 1)
+                    r_keys_append(key)
+                    r_ts_append(start_ts)
+                    r_tids_append(tid)
+                    r_vals_append(op.value)
+                w_lo = len(w_keys)
+                for key, value in writes.items():
+                    key_streams[key].append((len(w_keys) << 1) | 1)
+                    w_keys_append(key)
+                    w_vals_append(value)
+                    w_starts_append(start_ts)
+                    w_cts_append(commit_ts)
+                    w_tids_append(tid)
+                entries.append((txn, pre, w_lo, len(w_keys)))
 
         n_reads = len(r_keys)
         n_writes = len(w_keys)
@@ -729,10 +830,10 @@ class Aion:
         self._report(
             ExtViolation(
                 axiom=Axiom.EXT,
-                tid=verdict.tid,
-                key=verdict.key,
-                expected=verdict.expected,
-                actual=verdict.actual,
+                tid=verdict[EV_TID],
+                key=verdict[EV_KEY],
+                expected=verdict[EV_EXPECTED],
+                actual=verdict[EV_ACTUAL],
             )
         )
 
@@ -746,7 +847,9 @@ class Aion:
         if len(verdicts) == len(ext_reads):
             ext_reads.clear()
             return
-        ext_reads.remove_batch([(v.key, v.snapshot_ts, v.tid) for v in verdicts])
+        ext_reads.remove_batch(
+            [(v[EV_KEY], v[EV_SNAPSHOT_TS], v[EV_TID]) for v in verdicts]
+        )
 
 
 class _TidMax:

@@ -27,8 +27,17 @@ from typing import Any, Callable, DefaultDict, Dict, List, Optional, Tuple
 
 from repro.core.aion import AionConfig, GcReport, _TID_MAX
 from repro.core.common import BOTTOM, SessionTracker, simulate_transaction_ops, values_match
-from repro.core.ext_status import ExtStatusTracker, ExtVerdict, FlipFlopStats
-from repro.core.kernel import KernelStats, resolve_writes
+from repro.core.ext_status import (
+    EV_ACTUAL,
+    EV_EXPECTED,
+    EV_KEY,
+    EV_SNAPSHOT_TS,
+    EV_TID,
+    ExtStatusTracker,
+    ExtVerdict,
+    FlipFlopStats,
+)
+from repro.core.kernel import KernelStats, resolve_columns, resolve_writes
 from repro.core.spill import SpillStore
 from repro.core.versioned import ExtReadIndex, VersionedFrontier
 from repro.core.violations import (
@@ -40,6 +49,7 @@ from repro.core.violations import (
     Violation,
 )
 from repro.histories.model import OpKind, Transaction
+from repro.histories.serialization import ColumnarBatch
 from repro.util.sizeof import deep_sizeof
 from repro.util.sortedmap import SortedMap
 
@@ -94,15 +104,23 @@ class AionSer:
         Eq. 1 violations do not reject the transaction.
         """
         # Whole-batch validation up front, as in Aion.receive_many.
-        if not isinstance(txns, (list, tuple)):
-            txns = list(txns)
-        for txn in txns:
-            for op in txn.ops:
-                if op.kind is OpKind.APPEND:
-                    raise ValueError(
-                        "Aion-SER checks key-value histories online; list "
-                        "(append) histories are checked offline by Chronos-SER"
-                    )
+        batch = txns if isinstance(txns, ColumnarBatch) else None
+        if batch is not None:
+            if batch.has_appends:
+                raise ValueError(
+                    "Aion-SER checks key-value histories online; list "
+                    "(append) histories are checked offline by Chronos-SER"
+                )
+        else:
+            if not isinstance(txns, (list, tuple)):
+                txns = list(txns)
+            for txn in txns:
+                for op in txn.ops:
+                    if op.kind is OpKind.APPEND:
+                        raise ValueError(
+                            "Aion-SER checks key-value histories online; list "
+                            "(append) histories are checked offline by Chronos-SER"
+                        )
         now = self._clock()
         ext = self._ext
         ext.advance_to(now)
@@ -119,13 +137,13 @@ class AionSer:
         # Reload-on-demand hoisted to the batch boundary (see Aion's
         # kernel for the equivalence argument; here the snapshot point —
         # and hence the boundary test — is the commit timestamp).
-        if (
-            self._spill is not None
-            and len(self._spill) > 0
-            and collected is not None
-            and any(txn.commit_ts <= collected for txn in txns)
-        ):
-            self._reload_below(None)
+        if self._spill is not None and len(self._spill) > 0 and collected is not None:
+            if batch is not None:
+                need_reload = any(cts <= collected for cts in batch.commits)
+            else:
+                need_reload = any(txn.commit_ts <= collected for txn in txns)
+            if need_reload:
+                self._reload_below(None)
 
         # ---- route ----
         sessions = self._sessions
@@ -139,50 +157,111 @@ class AionSer:
         w_tids: List[int] = []
         key_streams: DefaultDict[str, List[int]] = defaultdict(list)
         entries: List[Tuple[Transaction, Optional[List[Violation]], int, int]] = []
-        for txn in txns:
-            tid = txn.tid
-            commit_ts = txn.commit_ts
-            stats.route_ops += len(txn.ops)
-            pre: Optional[List[Violation]] = None
-            if txn.start_ts > commit_ts:
-                # SER checking ignores start timestamps: report Eq. 1 but
-                # still process the transaction at its commit point.
-                pre = [
-                    TimestampOrderViolation(
-                        axiom=Axiom.TS_ORDER,
-                        tid=tid,
-                        start_ts=txn.start_ts,
-                        commit_ts=commit_ts,
-                    )
-                ]
-            violation = sessions.observe(txn)
-            writes, int_mismatches = resolve_writes(txn.ops)
-            if violation is not None or int_mismatches is not None:
-                if pre is None:
-                    pre = []
-                if violation is not None:
-                    pre.append(violation)
-                if int_mismatches is not None:
-                    for key, exp, act in int_mismatches:
-                        pre.append(
-                            IntViolation(
-                                axiom=Axiom.INT, tid=tid, key=key, expected=exp, actual=act
-                            )
+        if batch is not None:
+            # Columnar arrivals: route straight off the flat arrays (see
+            # Aion.receive_many for the lazy-Transaction rationale).  SER
+            # shape: Eq. 1 reports but does not reject, the snapshot point
+            # is the commit timestamp.
+            tids_col = batch.tids
+            starts_col = batch.starts
+            commits_col = batch.commits
+            offsets_col = batch.op_offsets
+            kinds_col = batch.op_kinds
+            keys_col = batch.op_keys
+            vals_col = batch.op_values
+            transaction_at = batch.transaction_at
+            for position in range(n):
+                tid = tids_col[position]
+                commit_ts = commits_col[position]
+                lo = offsets_col[position]
+                hi = offsets_col[position + 1]
+                stats.route_ops += hi - lo
+                pre: Optional[List[Violation]] = None
+                if starts_col[position] > commit_ts:
+                    pre = [
+                        TimestampOrderViolation(
+                            axiom=Axiom.TS_ORDER,
+                            tid=tid,
+                            start_ts=starts_col[position],
+                            commit_ts=commit_ts,
                         )
-            for key, op in txn.external_reads.items():
-                key_streams[key].append(len(r_keys) << 1)
-                r_keys.append(key)
-                r_ts.append(commit_ts)
-                r_tids.append(tid)
-                r_vals.append(op.value)
-            w_lo = len(w_keys)
-            for key, value in writes.items():
-                key_streams[key].append((len(w_keys) << 1) | 1)
-                w_keys.append(key)
-                w_vals.append(value)
-                w_cts.append(commit_ts)
-                w_tids.append(tid)
-            entries.append((txn, pre, w_lo, len(w_keys)))
+                    ]
+                txn = transaction_at(position)
+                violation = sessions.observe(txn)
+                external, writes, int_mismatches = resolve_columns(
+                    kinds_col, keys_col, vals_col, lo, hi
+                )
+                if violation is not None or int_mismatches is not None:
+                    if pre is None:
+                        pre = []
+                    if violation is not None:
+                        pre.append(violation)
+                    if int_mismatches is not None:
+                        for key, exp, act in int_mismatches:
+                            pre.append(
+                                IntViolation(
+                                    axiom=Axiom.INT, tid=tid, key=key, expected=exp, actual=act
+                                )
+                            )
+                for key, value in external:
+                    key_streams[key].append(len(r_keys) << 1)
+                    r_keys.append(key)
+                    r_ts.append(commit_ts)
+                    r_tids.append(tid)
+                    r_vals.append(value)
+                w_lo = len(w_keys)
+                for key, value in writes.items():
+                    key_streams[key].append((len(w_keys) << 1) | 1)
+                    w_keys.append(key)
+                    w_vals.append(value)
+                    w_cts.append(commit_ts)
+                    w_tids.append(tid)
+                entries.append((txn, pre, w_lo, len(w_keys)))
+        else:
+            for txn in txns:
+                tid = txn.tid
+                commit_ts = txn.commit_ts
+                stats.route_ops += len(txn.ops)
+                pre = None
+                if txn.start_ts > commit_ts:
+                    # SER checking ignores start timestamps: report Eq. 1 but
+                    # still process the transaction at its commit point.
+                    pre = [
+                        TimestampOrderViolation(
+                            axiom=Axiom.TS_ORDER,
+                            tid=tid,
+                            start_ts=txn.start_ts,
+                            commit_ts=commit_ts,
+                        )
+                    ]
+                violation = sessions.observe(txn)
+                writes, int_mismatches = resolve_writes(txn.ops)
+                if violation is not None or int_mismatches is not None:
+                    if pre is None:
+                        pre = []
+                    if violation is not None:
+                        pre.append(violation)
+                    if int_mismatches is not None:
+                        for key, exp, act in int_mismatches:
+                            pre.append(
+                                IntViolation(
+                                    axiom=Axiom.INT, tid=tid, key=key, expected=exp, actual=act
+                                )
+                            )
+                for key, op in txn.external_reads.items():
+                    key_streams[key].append(len(r_keys) << 1)
+                    r_keys.append(key)
+                    r_ts.append(commit_ts)
+                    r_tids.append(tid)
+                    r_vals.append(op.value)
+                w_lo = len(w_keys)
+                for key, value in writes.items():
+                    key_streams[key].append((len(w_keys) << 1) | 1)
+                    w_keys.append(key)
+                    w_vals.append(value)
+                    w_cts.append(commit_ts)
+                    w_tids.append(tid)
+                entries.append((txn, pre, w_lo, len(w_keys)))
 
         n_reads = len(r_keys)
         n_writes = len(w_keys)
@@ -245,7 +324,10 @@ class AionSer:
             resident_by_cts[(txn.commit_ts, tid)] = tid
             self.processed += 1
         stats.verdict_reevals += n_reevals
-        ext.arm_timers([txn.tid for txn in txns], now)
+        if batch is not None:
+            ext.arm_timers(batch.tids, now)
+        else:
+            ext.arm_timers([txn.tid for txn in txns], now)
 
     def _receive_one(self, txn: Transaction, now: float) -> None:
         if txn.start_ts > txn.commit_ts:
@@ -468,10 +550,10 @@ class AionSer:
         self._report(
             ExtViolation(
                 axiom=Axiom.EXT,
-                tid=verdict.tid,
-                key=verdict.key,
-                expected=verdict.expected,
-                actual=verdict.actual,
+                tid=verdict[EV_TID],
+                key=verdict[EV_KEY],
+                expected=verdict[EV_EXPECTED],
+                actual=verdict[EV_ACTUAL],
             )
         )
 
@@ -482,4 +564,6 @@ class AionSer:
         if len(verdicts) == len(ext_reads):
             ext_reads.clear()
             return
-        ext_reads.remove_batch([(v.key, v.snapshot_ts, v.tid) for v in verdicts])
+        ext_reads.remove_batch(
+            [(v[EV_KEY], v[EV_SNAPSHOT_TS], v[EV_TID]) for v in verdicts]
+        )

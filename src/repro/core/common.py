@@ -15,28 +15,10 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional
 
-from repro.histories.model import OpKind, Transaction
+from repro.histories.model import BOTTOM, OpKind, Transaction
 from repro.core.violations import Axiom, SessionViolation
 
 __all__ = ["BOTTOM", "SessionTracker", "simulate_transaction_ops", "values_match"]
-
-
-class _Bottom:
-    """Singleton for the unreadable initial value ⊥v."""
-
-    __slots__ = ()
-    _instance: Optional["_Bottom"] = None
-
-    def __new__(cls) -> "_Bottom":
-        if cls._instance is None:
-            cls._instance = super().__new__(cls)
-        return cls._instance
-
-    def __repr__(self) -> str:
-        return "⊥"
-
-
-BOTTOM = _Bottom()
 
 #: Timestamp smaller than every real timestamp (``⊥ts`` in Algorithm 2).
 BOTTOM_TS = -1

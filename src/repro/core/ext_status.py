@@ -22,83 +22,45 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
-__all__ = ["ExtVerdict", "ExtStatusTracker", "FlipFlopStats"]
+__all__ = [
+    "ExtVerdict",
+    "ExtStatusTracker",
+    "FlipFlopStats",
+    "EV_TID",
+    "EV_KEY",
+    "EV_SNAPSHOT_TS",
+    "EV_ACTUAL",
+    "EV_OK",
+    "EV_EXPECTED",
+    "EV_FIRST_SEEN",
+    "EV_LAST_CHANGE",
+    "EV_FLIPS",
+    "EV_FINALIZED",
+    "EV_WRONG_SINCE",
+]
 
+# A tentative EXT verdict is a plain mutable list record, one per
+# external read (one (txn, key) pair).  The batch kernel constructs one
+# per external read on the ingestion hot path; a list literal beats any
+# class instantiation there (no __init__ frame, no attribute stores),
+# and the verdict pass mutates ok/flips/wrong_since in place.  The index
+# constants below are the field contract shared with the checkers'
+# violation reporters.
+EV_TID = 0
+EV_KEY = 1
+EV_SNAPSHOT_TS = 2
+EV_ACTUAL = 3
+EV_OK = 4
+EV_EXPECTED = 5
+EV_FIRST_SEEN = 6
+EV_LAST_CHANGE = 7
+EV_FLIPS = 8
+EV_FINALIZED = 9
+#: Set when the verdict first became wrong; cleared when corrected.
+EV_WRONG_SINCE = 10
 
-class ExtVerdict:
-    """Tentative EXT verdict of one external read (one (txn, key) pair).
-
-    A ``__slots__`` record rather than a dataclass: the batch kernel
-    constructs one per external read on the ingestion hot path, where
-    dataclass keyword plumbing was a measurable share of step ①.  Field
-    order is part of the contract — :meth:`ExtStatusTracker.track_batch`
-    constructs these positionally.
-    """
-
-    __slots__ = (
-        "tid",
-        "key",
-        "snapshot_ts",
-        "actual",
-        "ok",
-        "expected",
-        "first_seen",
-        "last_change",
-        "flips",
-        "finalized",
-        "wrong_since",
-    )
-
-    def __init__(
-        self,
-        tid: int,
-        key: str,
-        snapshot_ts: int,
-        actual: Any,
-        ok: bool,
-        expected: Any,
-        first_seen: float,
-        last_change: float,
-        flips: int = 0,
-        finalized: bool = False,
-        wrong_since: Optional[float] = None,
-    ) -> None:
-        self.tid = tid
-        self.key = key
-        self.snapshot_ts = snapshot_ts
-        self.actual = actual
-        self.ok = ok
-        self.expected = expected
-        self.first_seen = first_seen
-        self.last_change = last_change
-        self.flips = flips
-        self.finalized = finalized
-        #: Set when the verdict first became wrong; cleared when corrected.
-        self.wrong_since = wrong_since
-
-    def __repr__(self) -> str:
-        return (
-            f"ExtVerdict(tid={self.tid!r}, key={self.key!r}, "
-            f"snapshot_ts={self.snapshot_ts!r}, actual={self.actual!r}, "
-            f"ok={self.ok!r}, expected={self.expected!r}, flips={self.flips!r}, "
-            f"finalized={self.finalized!r})"
-        )
-
-    def update(self, ok: bool, expected: Any, now: float) -> Optional[float]:
-        """Apply a re-evaluation; returns the rectify time when a wrong
-        tentative verdict is corrected to ⊤, else None."""
-        rectify: Optional[float] = None
-        if ok != self.ok:
-            self.flips += 1
-            self.last_change = now
-            if ok and self.wrong_since is not None:
-                rectify = now - self.wrong_since
-                self.wrong_since = None
-            elif not ok:
-                self.wrong_since = now
-        self.ok = ok
-        self.expected = expected
-        return rectify
+#: Type alias for one verdict record — ``List[Any]`` indexed by ``EV_*``.
+ExtVerdict = List[Any]
 
 
 @dataclass
@@ -191,17 +153,10 @@ class ExtStatusTracker:
 
     def track(self, tid: int, key: str, snapshot_ts: int, actual: Any, ok: bool, expected: Any, now: float) -> ExtVerdict:
         """Register the initial verdict for one external read."""
-        verdict = ExtVerdict(
-            tid=tid,
-            key=key,
-            snapshot_ts=snapshot_ts,
-            actual=actual,
-            ok=ok,
-            expected=expected,
-            first_seen=now,
-            last_change=now,
-            wrong_since=None if ok else now,
-        )
+        verdict = [
+            tid, key, snapshot_ts, actual, ok, expected,
+            now, now, 0, False, None if ok else now,
+        ]
         self._verdicts[(tid, key)] = verdict
         self._txn_pairs.setdefault(tid, []).append((tid, key))
         self.stats.n_pairs += 1
@@ -221,10 +176,10 @@ class ExtStatusTracker:
         txn_pairs = self._txn_pairs
         n = 0
         for tid, key, snapshot_ts, actual, ok, expected in items:
-            verdicts[(tid, key)] = ExtVerdict(
+            verdicts[(tid, key)] = [
                 tid, key, snapshot_ts, actual, ok, expected,
                 now, now, 0, False, None if ok else now,
-            )
+            ]
             pairs = txn_pairs.get(tid)
             if pairs is None:
                 txn_pairs[tid] = [(tid, key)]
@@ -262,10 +217,10 @@ class ExtStatusTracker:
         ):
             ok = (actual is None) if expected is bottom else (expected == actual)
             pair = (tid, key)
-            verdicts[pair] = ExtVerdict(
+            verdicts[pair] = [
                 tid, key, sts, actual, ok, expected,
                 now, now, 0, False, None if ok else now,
-            )
+            ]
             if tid != last_tid:
                 pairs = txn_pairs.get(tid)
                 if pairs is None:
@@ -294,12 +249,21 @@ class ExtStatusTracker:
     def reevaluate(self, tid: int, key: str, ok: bool, expected: Any, now: float) -> Optional[ExtVerdict]:
         """Apply a re-check result; no-op for finalized or unknown pairs."""
         verdict = self._verdicts.get((tid, key))
-        if verdict is None or verdict.finalized:
+        if verdict is None or verdict[EV_FINALIZED]:
             return None
-        rectify = verdict.update(ok, expected, now)
-        if rectify is not None:
-            self.stats.rectify_times.append(rectify)
-        if verdict.flips > 0:
+        if ok != verdict[EV_OK]:
+            verdict[EV_FLIPS] += 1
+            verdict[EV_LAST_CHANGE] = now
+            if ok:
+                wrong_since = verdict[EV_WRONG_SINCE]
+                if wrong_since is not None:
+                    self.stats.rectify_times.append(now - wrong_since)
+                    verdict[EV_WRONG_SINCE] = None
+            else:
+                verdict[EV_WRONG_SINCE] = now
+        verdict[EV_OK] = ok
+        verdict[EV_EXPECTED] = expected
+        if verdict[EV_FLIPS] > 0:
             self.stats.flipped_tids.add(tid)
         return verdict
 
@@ -332,15 +296,15 @@ class ExtStatusTracker:
                 timed_out.add(tid)
                 for pair in txn_pairs.pop(tid, ()):
                     verdict = verdicts.pop(pair, None)
-                    if verdict is None or verdict.finalized:
+                    if verdict is None or verdict[EV_FINALIZED]:
                         continue
-                    verdict.finalized = True
+                    verdict[EV_FINALIZED] = True
                     stats.n_finalized += 1
-                    flips = verdict.flips
+                    flips = verdict[EV_FLIPS]
                     if flips > 0:
                         flips_per_pair[flips] = flips_per_pair.get(flips, 0) + 1
                     finalized.append(verdict)
-                    if not verdict.ok:
+                    if not verdict[EV_OK]:
                         stats.n_final_violations += 1
                         self._on_violation(verdict)
                     if self._on_finalized is not None:
@@ -377,15 +341,15 @@ class ExtStatusTracker:
         check_armed = not timed_out.issuperset(self._txn_pairs)
         n_violations = 0
         for verdict in self._verdicts.values():
-            if check_armed and verdict.tid not in timed_out:
+            if check_armed and verdict[EV_TID] not in timed_out:
                 # Tracked but never armed: not yet due, keep it live.
                 continue
-            verdict.finalized = True
-            flips = verdict.flips
+            verdict[EV_FINALIZED] = True
+            flips = verdict[EV_FLIPS]
             if flips > 0:
                 flips_per_pair[flips] = flips_per_pair.get(flips, 0) + 1
             append(verdict)
-            if not verdict.ok:
+            if not verdict[EV_OK]:
                 n_violations += 1
                 on_violation(verdict)
             if on_finalized is not None:
@@ -397,8 +361,8 @@ class ExtStatusTracker:
             self._txn_pairs.clear()
         else:  # pragma: no cover - unarmed verdicts are not produced by the checkers
             for verdict in finalized:
-                del self._verdicts[(verdict.tid, verdict.key)]
-                self._txn_pairs.pop(verdict.tid, None)
+                del self._verdicts[(verdict[EV_TID], verdict[EV_KEY])]
+                self._txn_pairs.pop(verdict[EV_TID], None)
         if finalized and self._on_finalized_batch is not None:
             self._on_finalized_batch(finalized)
         return finalized
@@ -419,5 +383,5 @@ class ExtStatusTracker:
         """
         if not self._verdicts:
             return None
-        return min(v.snapshot_ts for v in self._verdicts.values())
+        return min(v[EV_SNAPSHOT_TS] for v in self._verdicts.values())
 

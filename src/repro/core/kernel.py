@@ -26,7 +26,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.histories.model import OpKind, Operation
 
-__all__ = ["KernelStats", "resolve_writes"]
+__all__ = ["KernelStats", "resolve_writes", "resolve_columns"]
 
 
 class KernelStats:
@@ -127,3 +127,55 @@ def resolve_writes(
                 mismatches.append((key, prior, value))
             local[key] = value
     return resolved, mismatches
+
+
+def resolve_columns(
+    kinds: Any,
+    keys: List[str],
+    values: List[Any],
+    lo: int,
+    hi: int,
+) -> Tuple[
+    List[Tuple[str, Any]],
+    Dict[str, Any],
+    Optional[List[Tuple[str, Any, Any]]],
+]:
+    """:func:`resolve_writes` over one transaction's slice of a columnar
+    batch's flat op arrays — no :class:`Operation` objects.
+
+    ``kinds`` is a bytes-like column of op codes (1 = write, everything
+    else follows the read rule; appends are rejected batch-wide before
+    routing), ``keys``/``values`` the parallel flat columns, ``[lo, hi)``
+    the transaction's slice.  One fused walk also detects the external
+    reads (first read of a key before any touch — the derived view
+    ``Transaction.__init__`` precomputes for object batches), so the
+    columnar route pass costs the same single pass the object route pass
+    pays in ``resolve_writes`` alone.
+
+    Returns ``(external_reads, resolved_writes, int_mismatches)`` with
+    ``external_reads`` as ``(key, observed value)`` pairs in program
+    order of each key's first read.
+    """
+    local: Dict[str, Any] = {}
+    resolved: Dict[str, Any] = {}
+    external: List[Tuple[str, Any]] = []
+    mismatches: Optional[List[Tuple[str, Any, Any]]] = None
+    local_get = local.get
+    external_append = external.append
+    missing = resolved  # private sentinel: never a stored op value
+    for index in range(lo, hi):
+        key = keys[index]
+        value = values[index]
+        if kinds[index] == 1:  # OP_WRITE
+            local[key] = value
+            resolved[key] = value
+        else:
+            prior = local_get(key, missing)
+            if prior is missing:
+                external_append((key, value))
+            elif prior != value:
+                if mismatches is None:
+                    mismatches = []
+                mismatches.append((key, prior, value))
+            local[key] = value
+    return external, resolved, mismatches

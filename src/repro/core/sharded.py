@@ -57,7 +57,16 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.aion import AionConfig, GcReport, _TID_MAX
 from repro.core.common import BOTTOM, SessionTracker, values_match
-from repro.core.ext_status import ExtStatusTracker, ExtVerdict, FlipFlopStats
+from repro.core.ext_status import (
+    EV_ACTUAL,
+    EV_EXPECTED,
+    EV_KEY,
+    EV_SNAPSHOT_TS,
+    EV_TID,
+    ExtStatusTracker,
+    ExtVerdict,
+    FlipFlopStats,
+)
 from repro.core.kernel import KernelStats, resolve_writes
 from repro.core.spill import SpillStore
 from repro.core.versioned import ExtReadIndex, VersionedFrontier, WriterIntervals
@@ -71,6 +80,7 @@ from repro.core.violations import (
     Violation,
 )
 from repro.histories.model import OpKind, Transaction
+from repro.histories.serialization import ColumnarBatch
 from repro.util.sizeof import deep_sizeof
 from repro.util.sortedmap import SortedMap
 
@@ -334,7 +344,12 @@ class ShardedAion:
         probe each shard in one pass, apply the verdicts in arrival
         order.
         """
-        if not isinstance(txns, (list, tuple)):
+        if isinstance(txns, ColumnarBatch):
+            # The sharded router materializes eagerly: lazy transactions
+            # would drag the whole batch's arrays through the process-pool
+            # pickling of the shard commands.
+            txns = txns.transactions()
+        elif not isinstance(txns, (list, tuple)):
             txns = list(txns)
         for txn in txns:
             for op in txn.ops:
@@ -793,10 +808,10 @@ class ShardedAion:
         self._report(
             ExtViolation(
                 axiom=Axiom.EXT,
-                tid=verdict.tid,
-                key=verdict.key,
-                expected=verdict.expected,
-                actual=verdict.actual,
+                tid=verdict[EV_TID],
+                key=verdict[EV_KEY],
+                expected=verdict[EV_EXPECTED],
+                actual=verdict[EV_ACTUAL],
             )
         )
 
@@ -804,6 +819,7 @@ class ShardedAion:
         n_shards = self.n_shards
         pending = self._pending_removals
         for verdict in verdicts:
-            pending[shard_of(verdict.key, n_shards)].append(
-                (verdict.key, verdict.snapshot_ts, verdict.tid)
+            key = verdict[EV_KEY]
+            pending[shard_of(key, n_shards)].append(
+                (key, verdict[EV_SNAPSHOT_TS], verdict[EV_TID])
             )

@@ -23,10 +23,15 @@ from repro.histories.model import (
 )
 from repro.histories.ops import append, read, read_list, write
 from repro.histories.serialization import (
+    ColumnarBatch,
     history_from_jsonl,
     history_to_jsonl,
     load_history,
+    load_history_packed,
+    pack_columnar,
     save_history,
+    save_history_packed,
+    unpack_columnar,
 )
 from repro.histories.stats import HistoryStats
 from repro.histories.validation import ValidationIssue, validate_history
@@ -34,6 +39,7 @@ from repro.histories.validation import ValidationIssue, validate_history
 __all__ = [
     "ANOMALY_CATALOG",
     "AnomalySpec",
+    "ColumnarBatch",
     "INIT_TID",
     "INIT_TS",
     "History",
@@ -47,9 +53,13 @@ __all__ = [
     "history_from_jsonl",
     "history_to_jsonl",
     "load_history",
+    "load_history_packed",
+    "pack_columnar",
     "read",
     "read_list",
     "save_history",
+    "save_history_packed",
+    "unpack_columnar",
     "validate_history",
     "write",
 ]

@@ -3,8 +3,11 @@
 The subsystem that closes the gap between the in-process reproduction
 and the paper's deployment story: an asyncio daemon
 (:class:`~repro.service.daemon.CheckerService`) wraps
-Aion/Aion-SER/ShardedAion behind an ndjson-over-TCP (or unix-socket)
-wire protocol (:mod:`repro.service.protocol`), a blocking client library
+Aion/Aion-SER/ShardedAion behind a two-codec TCP (or unix-socket) wire
+protocol — ndjson for debugging and interop, length-prefixed binary
+frames with columnar submit batches for throughput
+(:mod:`repro.service.protocol`, :mod:`repro.service.framing`) — a
+blocking client library
 (:class:`~repro.service.client.CheckerClient`) feeds it from ordinary
 synchronous producers, and :mod:`repro.service.replay` streams WAL
 captures, history files, anomaly fixtures, or generated workloads into a
@@ -15,11 +18,12 @@ expose the pair on the command line.
 from repro.service.client import CheckerClient, ServiceError
 from repro.service.config import ServiceConfig
 from repro.service.daemon import CheckerService, ServiceThread
-from repro.service.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.service.protocol import PROTOCOL_VERSION, PROTOCOL_VERSIONS, ProtocolError
 from repro.service.replay import ReplayReport, replay_transactions, transactions_in_commit_order
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "PROTOCOL_VERSIONS",
     "CheckerClient",
     "CheckerService",
     "ProtocolError",

@@ -1,10 +1,17 @@
 """Blocking client for the checker daemon.
 
-:class:`CheckerClient` speaks the ndjson protocol of
+:class:`CheckerClient` speaks the wire protocol of
 :mod:`repro.service.protocol` over TCP or a unix socket using nothing
 but the standard library — the library a workload driver, a CDC tailer,
 or a test harness embeds to stream committed transactions into a
 running daemon and read verdicts back.
+
+By default the client negotiates up to protocol v2 (binary frames with
+columnar submit batches) when the daemon offers it, and falls back to
+v1 ndjson otherwise; pass ``protocol=1`` to pin the debug-friendly
+ndjson codec, or ``protocol=2`` to fail fast against a daemon that
+cannot speak v2.  On v2, :meth:`submit_many` packs the whole batch as
+one vectored frame — no per-transaction JSON objects are built.
 
 The client is synchronous by design (producers in this repo are
 synchronous); asynchrony lives on the server side.  Pushed ``violation``
@@ -29,6 +36,16 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from repro.core.violations import CheckResult, Violation
 from repro.histories.model import Transaction
 from repro.histories.serialization import txn_to_dict
+from repro.service.framing import (
+    CLIENT_KIND_OF_TYPE,
+    FRAME_MAGIC0,
+    HEADER_SIZE,
+    K_HELLO,
+    decode_frame_header,
+    decode_frame_payload,
+    encode_json_frame,
+    encode_submit_frame,
+)
 from repro.service.protocol import (
     ProtocolError,
     decode_line,
@@ -55,6 +72,10 @@ class CheckerClient:
         Path of the daemon's unix socket.
     timeout:
         Socket timeout (seconds) applied to every blocking operation.
+    protocol:
+        ``None`` (default) negotiates the highest protocol the daemon
+        advertises; ``1`` pins ndjson; ``2`` requires the binary frame
+        codec and raises :class:`ServiceError` when unavailable.
     """
 
     def __init__(
@@ -64,11 +85,17 @@ class CheckerClient:
         *,
         unix_path: Optional[Union[str, Path]] = None,
         timeout: float = 30.0,
+        protocol: Optional[int] = None,
     ) -> None:
+        if protocol not in (None, 1, 2):
+            raise ValueError(f"protocol must be None, 1, or 2, got {protocol!r}")
         self.host = host
         self.port = port
         self.unix_path = str(unix_path) if unix_path is not None else None
         self.timeout = timeout
+        self.protocol_preference = protocol
+        #: Protocol this connection actually speaks (set by connect()).
+        self.protocol = 1
         self._sock: Optional[socket.socket] = None
         self._buffer = b""
         self._seq = 0
@@ -103,7 +130,28 @@ class CheckerClient:
         if welcome.get("type") != "welcome":
             raise ProtocolError(f"expected welcome, got {welcome.get('type')!r}")
         self.welcome = welcome
-        return welcome
+        self.protocol = 1
+        advertised = welcome.get("protocols") or [welcome.get("protocol", 1)]
+        want = self.protocol_preference
+        if want == 2 and 2 not in advertised:
+            raise ServiceError(f"daemon offers protocols {advertised}, not v2")
+        if (want is None or want == 2) and 2 in advertised:
+            # Upgrade: a v2 hello *frame* flips the daemon's send side;
+            # its framed welcome confirms the switch.
+            assert self._sock is not None
+            self._sock.sendall(
+                encode_json_frame(
+                    K_HELLO, {"type": "hello", "client": "repro-client", "protocol": 2}
+                )
+            )
+            confirm = self._read_message()
+            if confirm.get("type") != "welcome":
+                raise ProtocolError(
+                    f"expected v2 welcome, got {confirm.get('type')!r}"
+                )
+            self.protocol = 2
+            self.welcome = confirm
+        return self.welcome
 
     def _open_socket(self) -> None:
         if self.unix_path is not None:
@@ -151,7 +199,26 @@ class CheckerClient:
         admitted the whole batch to its ingest queue; ``ack=False``
         streams fire-and-forget — fastest, with admission control left
         to TCP backpressure.
+
+        On protocol v2 the batch crosses the wire as one vectored binary
+        frame (columnar arrays, interned keys) instead of a JSON object
+        per transaction.
         """
+        if self.protocol == 2:
+            assert self._sock is not None, "not connected"
+            if ack:
+                self._seq += 1
+                seq = self._seq
+            else:
+                seq = 0  # seq 0 asks for no ack at the framing layer
+            self._sock.sendall(encode_submit_frame(txns, seq))
+            if ack:
+                reply = self._await_reply("ack", seq)
+                if reply.get("enqueued") != len(txns):
+                    raise ServiceError(
+                        f"daemon enqueued {reply.get('enqueued')} of {len(txns)} transactions"
+                    )
+            return
         message: Dict[str, Any] = {"type": "submit", "txns": [txn_to_dict(t) for t in txns]}
         if ack:
             reply = self._request(message, expect="ack")
@@ -261,13 +328,30 @@ class CheckerClient:
 
     def _send(self, message: Dict[str, Any]) -> None:
         assert self._sock is not None, "not connected"
-        self._sock.sendall(encode_message(message))
+        # A type outside the v2 vocabulary (e.g. a probe for the
+        # daemon's unknown-message handling) goes as an ndjson line even
+        # on a v2 connection — the daemon sniffs the codec per message.
+        # Dict-form submits do too: a K_SUBMIT frame's payload is always
+        # binary columnar, built only by encode_submit_frame.
+        kind = (
+            CLIENT_KIND_OF_TYPE.get(message["type"])
+            if self.protocol == 2 and message["type"] != "submit"
+            else None
+        )
+        if kind is not None:
+            data = encode_json_frame(kind, message)
+        else:
+            data = encode_message(message)
+        self._sock.sendall(data)
 
     def _request(self, message: Dict[str, Any], *, expect: str) -> Dict[str, Any]:
         self._seq += 1
         seq = self._seq
         message = dict(message, seq=seq)
         self._send(message)
+        return self._await_reply(expect, seq)
+
+    def _await_reply(self, expect: str, seq: int) -> Dict[str, Any]:
         while True:
             reply = self._read_message()
             kind = reply.get("type")
@@ -291,8 +375,23 @@ class CheckerClient:
         daemon-initiated shutdown broadcasts the final verdict without a
         ``seq``, and a client blocked in an unrelated request must not
         lose it when the socket then closes.
+
+        The incoming codec is sniffed per message from its first byte
+        (0xA6 can never start an ndjson line), so a connection that
+        upgrades mid-stream — or a daemon that answers the upgrade in
+        frames while a v1 push is still in flight — parses cleanly.
         """
-        message = decode_line(self._read_line())
+        if self._peek_byte() == FRAME_MAGIC0:
+            # Fill before consuming: a timeout mid-frame must leave the
+            # buffer at a message boundary for the retry.
+            self._fill(HEADER_SIZE)
+            kind_byte, length = decode_frame_header(self._buffer[:HEADER_SIZE])
+            self._fill(HEADER_SIZE + length)
+            payload = self._buffer[HEADER_SIZE : HEADER_SIZE + length]
+            self._buffer = self._buffer[HEADER_SIZE + length :]
+            message = decode_frame_payload(kind_byte, payload)
+        else:
+            message = decode_line(self._read_line())
         kind = message.get("type")
         if kind == "violation":
             self.pushed.append(violation_from_dict(message["violation"]))
@@ -315,6 +414,19 @@ class CheckerClient:
                 line = self._buffer[: newline + 1]
                 self._buffer = self._buffer[newline + 1 :]
                 return line
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("daemon closed the connection")
+            self._buffer += chunk
+
+    def _peek_byte(self) -> int:
+        self._fill(1)
+        return self._buffer[0]
+
+    def _fill(self, n: int) -> None:
+        """Grow the receive buffer to at least ``n`` bytes (no consume)."""
+        assert self._sock is not None, "not connected"
+        while len(self._buffer) < n:
             chunk = self._sock.recv(65536)
             if not chunk:
                 raise ConnectionError("daemon closed the connection")

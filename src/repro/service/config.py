@@ -62,6 +62,12 @@ class ServiceConfig:
     #: when no transactions are arriving; the daemon polls at this
     #: cadence so due verdicts are pushed from a quiet wire too.
     poll_interval: float = 0.5
+    #: Highest wire protocol the daemon offers.  ``"v2"`` (the default)
+    #: advertises the binary frame codec while still accepting ndjson on
+    #: the same port — the reader sniffs each message's codec from its
+    #: first byte.  ``"v1"`` pins the daemon to ndjson only: v2-capable
+    #: clients see ``protocols: [1]`` in the welcome and fall back.
+    protocol: str = "v2"
 
     def validate(self) -> None:
         if self.port is None and self.unix_path is None:
@@ -80,6 +86,8 @@ class ServiceConfig:
             raise ValueError("gc_threshold must be >= 0")
         if self.poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
+        if self.protocol not in ("v1", "v2"):
+            raise ValueError(f"protocol must be 'v1' or 'v2', got {self.protocol!r}")
         if self.gc_keep_recent is not None:
             if self.gc_keep_recent < 0:
                 raise ValueError("gc_keep_recent must be >= 0")

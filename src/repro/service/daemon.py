@@ -8,13 +8,19 @@ checks them as they arrive and pushes verdicts back.
 
 Architecture::
 
-    clients ──ndjson──▶ per-connection reader ──▶ bounded ingest queue
-                                                        │ (backpressure)
-    subscribers ◀──violation push── drain task ◀────────┘
+    clients ──ndjson (v1)──▶ per-connection reader ──▶ bounded ingest queue
+            ──frames (v2)──▶   (codec sniffed per         │ (backpressure,
+                                message, first byte)      │  weighed in txns)
+    subscribers ◀──violation push── drain task ◀──────────┘
                                        │  receive_many() batches,
                                        │  under the ingest lock, in a
                                        ▼  worker thread
                                  Aion / AionSer / ShardedAion
+
+Protocol v2 submit frames arrive as :class:`ColumnarBatch` objects and
+stay columnar all the way into ``receive_many`` — the daemon never
+builds per-transaction dicts for them (see
+:mod:`repro.service.protocol` for the wire contract and handshake).
 
 Three properties carry the correctness story over from the library:
 
@@ -50,9 +56,18 @@ from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.core.violations import CheckResult
 from repro.histories.model import Transaction
-from repro.histories.serialization import txn_from_dict
+from repro.histories.serialization import ColumnarBatch, txn_from_dict
 from repro.online.metrics import ThroughputSeries
 from repro.service.config import ServiceConfig
+from repro.service.framing import (
+    FRAME_MAGIC0,
+    HEADER_SIZE,
+    K_HELLO,
+    SERVER_KIND_OF_TYPE,
+    decode_frame_header,
+    decode_frame_payload,
+    encode_json_frame,
+)
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -80,6 +95,101 @@ _MAX_SUBSCRIBER_BUFFER = 8 * 1024 * 1024
 _MAX_REPLAY_BACKLOG = 10_000
 
 
+class _IngestQueue:
+    """A weight-bounded asyncio queue: capacity counts *transactions*.
+
+    ``asyncio.Queue(maxsize=...)`` counts items, but the v2 wire path
+    enqueues whole columnar batches as single items — an item-bounded
+    queue would multiply its admission bound by the batch size.  Here
+    every put declares a weight (1 for a bare transaction, ``len(batch)``
+    for a columnar slice) and the capacity, ``join()``, and
+    ``task_done()`` accounting are all in transactions, so backpressure
+    bites at the same stream depth on both protocols.
+
+    An item heavier than the whole capacity is admitted when the queue
+    is idle — a producer must not deadlock on a frame the configuration
+    can never fit.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self._capacity = capacity
+        self._items: Deque[Tuple[Any, int]] = deque()
+        self._size = 0  # queued weight
+        self._unfinished = 0  # admitted weight not yet task_done()
+        self._getters: Deque[asyncio.Future] = deque()
+        self._putters: Deque[asyncio.Future] = deque()
+        self._finished = asyncio.Event()
+        self._finished.set()
+
+    def qsize(self) -> int:
+        return self._size
+
+    def empty(self) -> bool:
+        return not self._items
+
+    async def put(self, item: Any, weight: int = 1) -> None:
+        while self._size > 0 and self._size + weight > self._capacity:
+            fut: asyncio.Future = asyncio.get_running_loop().create_future()
+            self._putters.append(fut)
+            try:
+                await fut
+            except BaseException:
+                try:
+                    self._putters.remove(fut)
+                except ValueError:
+                    pass
+                raise
+        self.put_nowait(item, weight)
+
+    def put_nowait(self, item: Any, weight: int = 1) -> None:
+        self._items.append((item, weight))
+        self._size += weight
+        self._unfinished += weight
+        self._finished.clear()
+        while self._getters:
+            fut = self._getters.popleft()
+            if not fut.done():
+                fut.set_result(None)
+                break
+
+    async def get(self) -> Tuple[Any, int]:
+        while not self._items:
+            fut: asyncio.Future = asyncio.get_running_loop().create_future()
+            self._getters.append(fut)
+            try:
+                await fut
+            except BaseException:
+                try:
+                    self._getters.remove(fut)
+                except ValueError:
+                    pass
+                raise
+        return self.get_nowait()
+
+    def get_nowait(self) -> Tuple[Any, int]:
+        if not self._items:
+            raise asyncio.QueueEmpty
+        item, weight = self._items.popleft()
+        self._size -= weight
+        # Wake every waiting putter; each re-checks the capacity and the
+        # ones that still do not fit simply wait again.
+        while self._putters:
+            fut = self._putters.popleft()
+            if not fut.done():
+                fut.set_result(None)
+        return item, weight
+
+    def task_done(self, weight: int = 1) -> None:
+        self._unfinished -= weight
+        if self._unfinished <= 0:
+            self._unfinished = 0
+            self._finished.set()
+
+    async def join(self) -> None:
+        if self._unfinished > 0:
+            await self._finished.wait()
+
+
 class CheckerService:
     """One daemon instance: listeners, ingest queue, drain loop."""
 
@@ -92,7 +202,7 @@ class CheckerService:
         # poll, stats reads, GC, finalize — happens under this lock, so
         # worker-thread ingestion and loop-thread reads never interleave.
         self._lock: threading.Lock = getattr(self.checker, "ingest_lock", None) or threading.Lock()
-        self._queue: Optional[asyncio.Queue] = None
+        self._queue: Optional[_IngestQueue] = None
         self._drain_task: Optional[asyncio.Task] = None
         self._tick_task: Optional[asyncio.Task] = None
         self._servers: List[asyncio.base_events.Server] = []
@@ -122,6 +232,23 @@ class CheckerService:
         #: ThroughputSeries is written by the drain loop (event-loop
         #: thread) and snapshotted by stats() (worker thread).
         self._throughput_lock = threading.Lock()
+        #: Connections that completed the v2 handshake; absent = v1.
+        #: Only the send side consults this — the reader sniffs each
+        #: incoming message's codec from its first byte.
+        self._conn_proto: Dict[asyncio.StreamWriter, int] = {}
+        #: Per-codec wire counters, exported as ``stats()["wire"]``.
+        #: Touched only from the event-loop thread (reads from stats()
+        #: may tear across keys, which is fine for monotonic counters).
+        self.wire: Dict[str, Dict[str, int]] = {
+            codec: {
+                "frames_in": 0,
+                "bytes_in": 0,
+                "frames_out": 0,
+                "bytes_out": 0,
+                "decode_errors": 0,
+            }
+            for codec in ("v1", "v2")
+        }
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -129,7 +256,7 @@ class CheckerService:
 
     async def start(self) -> None:
         """Bind the configured listeners and start the drain loop."""
-        self._queue = asyncio.Queue(maxsize=self.config.queue_capacity)
+        self._queue = _IngestQueue(self.config.queue_capacity)
         self.started_at = time.monotonic()
         if self.config.port is not None:
             server = await asyncio.start_server(
@@ -212,20 +339,23 @@ class CheckerService:
         # flushing until the queue stays empty across an event-loop
         # yield, which gives every woken putter its final turn.
         while True:
-            leftovers: List[Transaction] = []
+            leftovers: List[Tuple[Any, int]] = []
+            total = 0
             while True:
                 try:
-                    leftovers.append(self._queue.get_nowait())
+                    item, weight = self._queue.get_nowait()
                 except asyncio.QueueEmpty:
                     break
+                leftovers.append((item, weight))
+                total += weight
             if leftovers:
                 try:
-                    await self._run_checker(self._ingest_locked, leftovers)
+                    for group in self._coalesce(leftovers):
+                        await self._run_checker(self._ingest_locked, group)
                 except Exception as exc:
                     self.ingest_errors += 1
                     self.last_ingest_error = f"{type(exc).__name__}: {exc}"
-                for _ in leftovers:
-                    self._queue.task_done()
+                self._queue.task_done(total)
                 continue
             await asyncio.sleep(0)
             if self._queue.empty():
@@ -272,16 +402,25 @@ class CheckerService:
         queue = self._queue
         batch_size = self.config.batch_size
         while True:
-            txn = await queue.get()
-            batch = [txn]
-            while len(batch) < batch_size:
+            item, weight = await queue.get()
+            items: List[Tuple[Any, int]] = [(item, weight)]
+            total = weight
+            while total < batch_size:
                 try:
-                    batch.append(queue.get_nowait())
+                    item, weight = queue.get_nowait()
                 except asyncio.QueueEmpty:
                     break
+                items.append((item, weight))
+                total += weight
             try:
                 try:
-                    await self._run_checker(self._ingest_locked, batch)
+                    # One worker-thread hop checks every coalesced group
+                    # AND polls for fresh violations — per-group dispatch
+                    # plus a separate poll hop measurably costs wire
+                    # throughput under GIL contention.
+                    fresh = await self._run_checker(
+                        self._ingest_groups_locked, self._coalesce(items)
+                    )
                 except Exception as exc:
                     # A rejected batch (e.g. a submitted append operation,
                     # which the online checkers refuse) must not kill the
@@ -291,20 +430,18 @@ class CheckerService:
                     self.ingest_errors += 1
                     self.last_ingest_error = f"{type(exc).__name__}: {exc}"
                     print(
-                        f"repro.service: dropped a {len(batch)}-transaction batch: "
+                        f"repro.service: dropped a {total}-transaction batch: "
                         f"{self.last_ingest_error}",
                         file=sys.stderr,
                     )
                 else:
                     with self._throughput_lock:
                         self.throughput.record(
-                            time.monotonic() - self.started_at, len(batch)
+                            time.monotonic() - self.started_at, total
                         )
                     try:
                         await self._maybe_collect()
-                        await self._broadcast(
-                            await self._run_checker(self._fresh_violation_messages)
-                        )
+                        await self._broadcast(fresh)
                     except Exception as exc:
                         # GC (which may spill to disk) or a push failing
                         # must not kill the drain task either — the batch
@@ -316,8 +453,29 @@ class CheckerService:
                             file=sys.stderr,
                         )
             finally:
-                for _ in batch:
-                    queue.task_done()
+                queue.task_done(total)
+
+    @staticmethod
+    def _coalesce(items: List[Tuple[Any, int]]) -> List[Any]:
+        """Group drained queue entries into ``receive_many()`` calls.
+
+        Runs of bare transactions merge into one list; a columnar batch
+        is already a batch and passes through whole.  Arrival order is
+        preserved across groups — that is what keeps wire verdicts
+        identical to in-process checking when v1 and v2 producers mix.
+        """
+        groups: List[Any] = []
+        run: Optional[List[Transaction]] = None
+        for item, _ in items:
+            if isinstance(item, ColumnarBatch):
+                groups.append(item)
+                run = None
+            else:
+                if run is None:
+                    run = []
+                    groups.append(run)
+                run.append(item)
+        return groups
 
     async def _tick_loop(self) -> None:
         """Fire due EXT-timeout verdicts while the wire is idle.
@@ -336,7 +494,9 @@ class CheckerService:
                     file=sys.stderr,
                 )
 
-    def _ingest_locked(self, batch: List[Transaction]) -> None:
+    def _ingest_locked(self, batch: Any) -> None:
+        # ``batch`` is a list of transactions or a ColumnarBatch; the
+        # checkers' receive_many accepts both.
         # ShardedAion ships its own thread-safe entry point (guarded by
         # the same ingest_lock the daemon uses for every other touch);
         # the single-shard checkers are wrapped here.
@@ -346,6 +506,24 @@ class CheckerService:
         else:
             with self._lock:
                 self.checker.receive_many(batch)
+
+    def _ingest_groups_locked(self, groups: List[Any]) -> List[Dict[str, Any]]:
+        """Check every coalesced group, then poll — one executor trip.
+
+        A raised ingest error drops this drain cycle's remaining groups
+        (matching the old per-group dispatch, where the first failure
+        skipped the rest) and leaves any fresh violations to the next
+        cycle's poll.
+        """
+        receive = getattr(self.checker, "receive_many_threadsafe", None)
+        if receive is not None:
+            for group in groups:
+                receive(group)
+        else:
+            with self._lock:
+                for group in groups:
+                    self.checker.receive_many(group)
+        return self._fresh_violation_messages()
 
     async def _run_checker(self, fn, *args: Any) -> Any:
         """Run a checker-touching callable on a worker thread.
@@ -385,36 +563,95 @@ class CheckerService:
     # Connections
     # ------------------------------------------------------------------
 
+    def _welcome_message(self, version: int) -> Dict[str, Any]:
+        offered = [1] if self.config.protocol == "v1" else [1, 2]
+        return {
+            "type": "welcome",
+            "protocol": version,
+            "protocols": offered,
+            "checker": self.config.checker_kind,
+            "level": self.config.level,
+        }
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self._connections.add(writer)
-        self._send(
-            writer,
-            {
-                "type": "welcome",
-                "protocol": PROTOCOL_VERSION,
-                "checker": self.config.checker_kind,
-                "level": self.config.level,
-            },
-        )
+        v2_enabled = self.config.protocol != "v1"
+        # The opening welcome is always a v1 line: a client cannot know
+        # the server speaks v2 until this advertisement arrives.
+        self._send(writer, self._welcome_message(PROTOCOL_VERSION))
         try:
             while True:
+                # One byte of lookahead classifies the next message:
+                # 0xA6 can never start an ndjson line, so it means a v2
+                # frame; anything else is the first byte of a line.
                 try:
-                    line = await reader.readline()
-                except (asyncio.LimitOverrunError, ValueError):
-                    self._send(writer, {"type": "error", "message": "line too long"})
+                    first = await reader.readexactly(1)
+                except asyncio.IncompleteReadError:
                     break
-                if not line:
-                    break
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    message = decode_line(line)
-                except ProtocolError as exc:
-                    self._send(writer, {"type": "error", "message": str(exc)})
-                    continue
+                if first[0] == FRAME_MAGIC0:
+                    wire = self.wire["v2"]
+                    if not v2_enabled:
+                        wire["decode_errors"] += 1
+                        self._send(
+                            writer,
+                            {"type": "error", "message": "protocol v2 is disabled"},
+                        )
+                        break
+                    try:
+                        header = first + await reader.readexactly(HEADER_SIZE - 1)
+                    except asyncio.IncompleteReadError:
+                        wire["decode_errors"] += 1
+                        break
+                    try:
+                        frame_kind, length = decode_frame_header(header)
+                    except ProtocolError as exc:
+                        # A bad header means the stream position is lost;
+                        # binary framing cannot resync, so close.
+                        wire["decode_errors"] += 1
+                        self._send(writer, {"type": "error", "message": str(exc)})
+                        break
+                    try:
+                        payload = await reader.readexactly(length)
+                    except asyncio.IncompleteReadError:
+                        wire["decode_errors"] += 1
+                        break
+                    wire["frames_in"] += 1
+                    wire["bytes_in"] += HEADER_SIZE + length
+                    try:
+                        message = decode_frame_payload(frame_kind, payload)
+                    except ProtocolError as exc:
+                        # The framing survived (length was honoured), so
+                        # the connection can too — reject this message.
+                        wire["decode_errors"] += 1
+                        self._send(writer, {"type": "error", "message": str(exc)})
+                        continue
+                    if frame_kind == K_HELLO:
+                        # v2 handshake: flip this connection's send side
+                        # to frames, confirm with a framed welcome.
+                        self._conn_proto[writer] = 2
+                        self._send(writer, self._welcome_message(2))
+                        continue
+                else:
+                    try:
+                        rest = await reader.readline()
+                    except (asyncio.LimitOverrunError, ValueError):
+                        self._send(writer, {"type": "error", "message": "line too long"})
+                        break
+                    line = first + rest
+                    wire = self.wire["v1"]
+                    wire["bytes_in"] += len(line)
+                    line = line.strip()
+                    if not line:
+                        continue
+                    wire["frames_in"] += 1
+                    try:
+                        message = decode_line(line)
+                    except ProtocolError as exc:
+                        wire["decode_errors"] += 1
+                        self._send(writer, {"type": "error", "message": str(exc)})
+                        continue
                 if not await self._dispatch(message, writer):
                     break
         except (ConnectionResetError, BrokenPipeError):
@@ -422,6 +659,7 @@ class CheckerService:
         finally:
             self._subscribers.discard(writer)
             self._connections.discard(writer)
+            self._conn_proto.pop(writer, None)
             self._close_writer(writer)
 
     async def _dispatch(self, message: Dict[str, Any], writer: asyncio.StreamWriter) -> bool:
@@ -477,6 +715,43 @@ class CheckerService:
         if self._shutting_down:
             self._send(writer, {"type": "error", "seq": seq, "message": "service is shutting down"})
             return True
+        batch = message.get("batch")
+        if batch is not None:
+            # v2 vectored submit: the frame decoded straight into a
+            # ColumnarBatch.  Slice it to the checker's batch size and
+            # enqueue the slices whole — they stay columnar through the
+            # drain loop into receive_many.
+            if len(batch) == 0:
+                self._send(
+                    writer,
+                    {"type": "error", "seq": seq, "message": "submit carries no transactions"},
+                )
+                return True
+            assert self._queue is not None
+            total = len(batch)
+            admitted = 0
+            for piece in batch.slices(self.config.batch_size):
+                # Re-checked per slice: a shutdown can start while this
+                # handler is suspended on a full queue.
+                if self._shutting_down:
+                    break
+                await self._queue.put(piece, len(piece))
+                admitted += len(piece)
+            self.received += admitted
+            if admitted < total:
+                if seq is not None:
+                    self._send(
+                        writer,
+                        {
+                            "type": "error",
+                            "seq": seq,
+                            "message": f"service is shutting down; "
+                            f"admitted {admitted} of {total} transactions",
+                        },
+                    )
+            elif seq is not None:
+                self._send(writer, {"type": "ack", "seq": seq, "enqueued": admitted})
+            return True
         raw = message.get("txns")
         if raw is None:
             single = message.get("txn")
@@ -531,7 +806,15 @@ class CheckerService:
         if writer.is_closing():
             return
         try:
-            writer.write(encode_message(message))
+            if self._conn_proto.get(writer) == 2:
+                data = encode_json_frame(SERVER_KIND_OF_TYPE[message["type"]], message)
+                wire = self.wire["v2"]
+            else:
+                data = encode_message(message)
+                wire = self.wire["v1"]
+            writer.write(data)
+            wire["frames_out"] += 1
+            wire["bytes_out"] += len(data)
         except (ConnectionResetError, BrokenPipeError, RuntimeError):
             self._subscribers.discard(writer)
 
@@ -546,13 +829,31 @@ class CheckerService:
         self._violation_log.extend(messages)
         if not messages or not self._subscribers:
             return
-        payload = b"".join(encode_message(m) for m in messages)
+        # One payload per codec, built lazily: most daemons have all
+        # their subscribers on one protocol.
+        payload_v1: Optional[bytes] = None
+        payload_v2: Optional[bytes] = None
         for writer in list(self._subscribers):
             if writer.is_closing():
                 self._subscribers.discard(writer)
                 continue
+            if self._conn_proto.get(writer) == 2:
+                if payload_v2 is None:
+                    payload_v2 = b"".join(
+                        encode_json_frame(SERVER_KIND_OF_TYPE["violation"], m)
+                        for m in messages
+                    )
+                payload = payload_v2
+                wire = self.wire["v2"]
+            else:
+                if payload_v1 is None:
+                    payload_v1 = b"".join(encode_message(m) for m in messages)
+                payload = payload_v1
+                wire = self.wire["v1"]
             try:
                 writer.write(payload)
+                wire["frames_out"] += len(messages)
+                wire["bytes_out"] += len(payload)
                 if writer.transport.get_write_buffer_size() > _MAX_SUBSCRIBER_BUFFER:
                     self._subscribers.discard(writer)
                     self._close_writer(writer)
@@ -597,6 +898,8 @@ class CheckerService:
             throughput = self.throughput.snapshot()
         return {
             "protocol": PROTOCOL_VERSION,
+            "protocols": [1] if self.config.protocol == "v1" else [1, 2],
+            "wire": {codec: dict(counters) for codec, counters in self.wire.items()},
             "checker": self.config.checker_kind,
             "level": self.config.level,
             "uptime_s": round(time.monotonic() - self.started_at, 3),

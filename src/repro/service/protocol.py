@@ -1,10 +1,47 @@
-"""The checker service's wire protocol: ndjson messages, one per line.
+"""The checker service's wire protocol: ndjson (v1) and binary frames (v2).
 
-Every message is a single JSON object terminated by ``\\n`` (UTF-8, no
-embedded newlines) — the same framing the history files use, so a
-producer that can append to a JSONL history can speak to the daemon with
-a two-line change.  Each object carries a ``type`` field; everything
-else is type-specific.
+Two codecs share one port and one message vocabulary:
+
+**v1 — ndjson.**  Every message is a single JSON object terminated by
+``\\n`` (UTF-8, no embedded newlines) — the same framing the history
+files use, so a producer that can append to a JSONL history can speak to
+the daemon with a two-line change.  Each object carries a ``type``
+field; everything else is type-specific.
+
+**v2 — length-prefixed binary frames** (:mod:`repro.service.framing`)::
+
+    0      1      2      3      4              8
+    +------+------+------+------+--------------+----------------+
+    | 0xA6 | 0x52 | ver  | kind |  length u32  | payload ...    |
+    +------+------+------+------+--------------+----------------+
+
+``0xA6`` is a UTF-8 continuation byte, so it can never start an ndjson
+line: the reader classifies every incoming message by its first byte,
+and a single connection may even interleave the two codecs.  Control
+messages (everything below except ``submit``) carry their v1 JSON object
+verbatim as the frame payload; only ``submit`` is binary — a u32 ack
+sequence number followed by a columnar pack
+(:func:`repro.histories.serialization.pack_columnar`) that struct-packs
+the batch's tids/sids/snos/timestamps as flat arrays, interns keys in a
+per-frame string table, and tags values with 1-byte type codes.  The
+daemon decodes that blob directly into the batch kernel's columnar
+layout without building per-transaction dicts, which is where v2's
+throughput win comes from.
+
+Handshake
+---------
+The server always opens with a v1 ``welcome`` line advertising
+``"protocols": [1, 2]`` (or ``[1]`` when v2 is disabled).  A connection
+stays in v1 unless the client sends a v2 ``hello`` *frame*; the server
+then answers with a v2 ``welcome`` frame and switches its send side to
+frames for that connection.  Clients preferring v2 must fall back to v1
+when the server only advertises ``[1]``.
+
+Prefer v1 when debugging (messages are greppable and can be spoken with
+``nc``/``telnet``), when producing from tools that only know JSON, or
+for interop with pre-v2 daemons; prefer v2 for throughput — bulk
+``submit`` traffic is both smaller on the wire and far cheaper to
+decode.
 
 Client → server
 ---------------
@@ -74,6 +111,7 @@ from repro.core.violations import (
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "PROTOCOL_VERSIONS",
     "ProtocolError",
     "encode_message",
     "decode_line",
@@ -86,6 +124,11 @@ __all__ = [
 ]
 
 PROTOCOL_VERSION = 1
+
+#: Every protocol revision this codebase can speak.  The binary v2 frame
+#: codec lives in :mod:`repro.service.framing` (a sibling rather than an
+#: import here, so the v1 codec keeps zero framing dependencies).
+PROTOCOL_VERSIONS = (1, 2)
 
 #: Message types a conforming server accepts.
 CLIENT_MESSAGE_TYPES = frozenset(

@@ -35,6 +35,8 @@ class ReplayReport:
     sent: int
     batches: int
     wall_seconds: float
+    #: Wire protocol the client negotiated (1 = ndjson, 2 = frames).
+    protocol: int = 1
     stats: Dict[str, Any] = field(default_factory=dict)
     result: Optional[CheckResult] = None
 
@@ -90,7 +92,9 @@ def replay_transactions(
     if drain:
         client.drain()
     wall = time.monotonic() - started
-    report = ReplayReport(sent=len(txns), batches=batches, wall_seconds=wall)
+    report = ReplayReport(
+        sent=len(txns), batches=batches, wall_seconds=wall, protocol=client.protocol
+    )
     if collect_stats:
         # Cheap mode: skip the estimated_bytes deep-sizeof walk, which
         # runs under the daemon's ingest lock and stalls other producers

@@ -1,6 +1,13 @@
 """Tests for EXT verdict tracking: flip-flops, timeouts, rectify times."""
 
-from repro.core.ext_status import ExtStatusTracker, FlipFlopStats
+from repro.core.ext_status import (
+    EV_FLIPS,
+    EV_KEY,
+    EV_OK,
+    EV_TID,
+    ExtStatusTracker,
+    FlipFlopStats,
+)
 
 
 def make_tracker(timeout=5.0, violations=None, finalized=None):
@@ -19,9 +26,9 @@ class TestLifecycle:
         tracker.track(1, "x", 10, actual="v", ok=True, expected="v", now=0.0)
         tracker.arm_timer(1, now=0.0)
         done = tracker.advance_to(5.0)
-        assert len(done) == 1 and done[0].ok
+        assert len(done) == 1 and done[0][EV_OK]
         assert violations == []
-        assert [v.tid for v in finalized] == [1]
+        assert [v[EV_TID] for v in finalized] == [1]
 
     def test_wrong_verdict_reported_at_timeout(self):
         tracker, violations, _ = make_tracker()
@@ -30,7 +37,7 @@ class TestLifecycle:
         assert tracker.advance_to(4.9) == []  # not yet due
         tracker.advance_to(5.0)
         assert len(violations) == 1
-        assert violations[0].tid == 1 and violations[0].key == "x"
+        assert violations[0][EV_TID] == 1 and violations[0][EV_KEY] == "x"
 
     def test_rectified_before_timeout_not_reported(self):
         tracker, violations, _ = make_tracker()
@@ -64,7 +71,7 @@ class TestLifecycle:
         tracker.track(1, "y", 10, actual="c", ok=True, expected="c", now=0.0)
         tracker.arm_timer(1, now=0.0)
         tracker.advance_to(5.0)
-        assert [(v.tid, v.key) for v in violations] == [(1, "x")]
+        assert [(v[EV_TID], v[EV_KEY]) for v in violations] == [(1, "x")]
 
 
 class TestFlipFlopAccounting:
@@ -72,11 +79,11 @@ class TestFlipFlopAccounting:
         tracker, _, _ = make_tracker()
         verdict = tracker.track(1, "x", 10, actual="v", ok=True, expected="v", now=0.0)
         tracker.reevaluate(1, "x", ok=True, expected="v", now=1.0)  # no change
-        assert verdict.flips == 0
+        assert verdict[EV_FLIPS] == 0
         tracker.reevaluate(1, "x", ok=False, expected="w", now=2.0)
-        assert verdict.flips == 1
+        assert verdict[EV_FLIPS] == 1
         tracker.reevaluate(1, "x", ok=True, expected="v", now=3.0)
-        assert verdict.flips == 2
+        assert verdict[EV_FLIPS] == 2
         assert tracker.stats.rectify_times == [1.0]  # wrong from t=2 to t=3
 
     def test_histogram_buckets(self):
