@@ -42,6 +42,7 @@ if str(REPO_ROOT / "src") not in sys.path:  # direct `python benchmarks/...` run
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.aion import Aion, AionConfig  # noqa: E402
+from repro.core.reference import normalize_violations  # noqa: E402
 from repro.core.versioned import ExtReadIndex  # noqa: E402
 from repro.online.collector import HistoryCollector  # noqa: E402
 from repro.online.delays import NormalDelay  # noqa: E402
@@ -221,7 +222,10 @@ def bench_ext_sweep(n_keys, reads_per_key, repeats):
 # Suite 4: end-to-end Fig-12b single-shard batched ingestion
 # ----------------------------------------------------------------------
 
-def bench_fig12b(n, repeats):
+def bench_fig12b(n, repeats, *, sample_every=0):
+    """``sample_every > 0`` runs the same stream with stage-timing
+    instrumentation enabled at the daemon's default cadence, so the
+    trajectory records what metrics cost on the end-to-end hot path."""
     from repro.bench import cached_default_history
 
     history = cached_default_history(
@@ -234,6 +238,8 @@ def bench_fig12b(n, repeats):
 
     def run():
         checker = Aion(AionConfig(timeout=float("inf")))
+        if sample_every:
+            checker.kernel_stats.sample_every = sample_every
         for offset in range(0, len(txns), BATCH):
             checker.receive_many(txns[offset : offset + BATCH])
         n_violations = len(checker.finalize().violations)
@@ -241,11 +247,14 @@ def bench_fig12b(n, repeats):
         return n_violations
 
     elapsed, n_violations = _best_of(repeats, run)
-    return {
+    row = {
         "n_txns": len(txns),
         "tps": round(len(txns) / elapsed),
         "violations": n_violations,
     }
+    if sample_every:
+        row["sample_every"] = sample_every
+    return row
 
 
 # ----------------------------------------------------------------------
@@ -356,7 +365,7 @@ def run_smoke_gate():
     for offset in range(0, len(txns), 50):
         checker.receive_many(txns[offset : offset + 50])
     stats = checker.kernel_stats
-    checker.finalize()
+    baseline_verdict = normalize_violations(checker.finalize())
     checker.close()
     expected = {
         "batches": -(-len(txns) // 50),
@@ -378,6 +387,45 @@ def run_smoke_gate():
             )
     if got["probe_reads"] == 0 or got["probe_writes"] == 0:
         failures.append("kernel probe counters are zero on a read/write workload")
+
+    # Gate 6: observability must be free where it counts.  The same
+    # stream with stage timing sampled on every batch and the slow-batch
+    # trace firing on every batch must advance the op counters to the
+    # exact same values and yield the identical verdict multiset —
+    # instrumentation that perturbs routed work (or verdicts!) is a bug
+    # the wall clock would never catch.
+    instrumented = Aion(AionConfig(timeout=float("inf")))
+    istats = instrumented.kernel_stats
+    istats.sample_every = 1
+    istats.slow_threshold = 1e-9
+    traces = []
+    istats.on_slow_batch = traces.append
+    for offset in range(0, len(txns), 50):
+        instrumented.receive_many(txns[offset : offset + 50])
+    instrumented_verdict = normalize_violations(instrumented.finalize())
+    instrumented.close()
+    igot = istats.as_dict()
+    for name in (
+        "batches", "txns", "max_batch", "route_ops", "probe_reads",
+        "probe_writes", "verdict_tracks", "verdict_reevals", "verdict_conflicts",
+    ):
+        if igot[name] != got[name]:
+            failures.append(
+                f"kernel counter {name} = {igot[name]} with metrics enabled, "
+                f"{got[name]} without: instrumentation perturbs the kernel"
+            )
+    if instrumented_verdict != baseline_verdict:
+        failures.append("verdicts differ with stage timing enabled")
+    if igot["timed_batches"] != igot["batches"]:
+        failures.append(
+            f"sample_every=1 timed {igot['timed_batches']} of "
+            f"{igot['batches']} batches"
+        )
+    if len(traces) != igot["batches"] or igot["slow_batches"] != igot["batches"]:
+        failures.append(
+            f"slow-batch hook fired {len(traces)} times for "
+            f"{igot['batches']} batches over the threshold"
+        )
     return failures
 
 
@@ -406,6 +454,9 @@ def run_all(*, smoke, n_fig12b, repeats):
             sizes["ext_keys"], sizes["ext_reads_per_key"], repeats
         ),
         "fig12b": bench_fig12b(sizes["fig12b_n"], repeats),
+        "fig12b_instrumented": bench_fig12b(
+            sizes["fig12b_n"], repeats, sample_every=16
+        ),
     }
     return sizes, results
 

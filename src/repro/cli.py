@@ -115,8 +115,17 @@ def _build_parser() -> argparse.ArgumentParser:
     inject.add_argument("--out", required=True)
     inject.set_defaults(handler=_cmd_inject)
 
-    stats = commands.add_parser("stats", help="describe a history file")
-    stats.add_argument("history")
+    stats = commands.add_parser(
+        "stats", help="describe a history file or a running daemon")
+    stats.add_argument("history", nargs="?", default=None,
+                       help="JSONL history file (omit to query a daemon)")
+    stats.add_argument("--host", default="127.0.0.1")
+    stats.add_argument("--port", type=int, default=None,
+                       help="query a running daemon's STATS over the wire")
+    stats.add_argument("--unix", default=None, metavar="PATH",
+                       help="query the daemon via unix socket instead of TCP")
+    stats.add_argument("--json", action="store_true",
+                       help="print the raw STATS payload as JSON")
     stats.set_defaults(handler=_cmd_stats)
 
     serve = commands.add_parser("serve", help="run the checker daemon")
@@ -145,6 +154,18 @@ def _build_parser() -> argparse.ArgumentParser:
                         "still accept ndjson; v1 pins ndjson only)")
     serve.add_argument("--gc-keep-recent", type=int, default=None,
                        help="residents spared per GC cycle (default: half the threshold)")
+    serve.add_argument("--http-port", type=int, default=None, metavar="PORT",
+                       help="serve /metrics, /health and /stats over HTTP on "
+                       "this port (0 = ephemeral; default: disabled)")
+    serve.add_argument("--slow-batch-ms", type=float, default=None, metavar="MS",
+                       help="trace any receive_many call slower than MS "
+                       "milliseconds (structured record to stderr)")
+    serve.add_argument("--kernel-sample-every", type=int, default=16, metavar="N",
+                       help="sample per-stage kernel wall times every Nth "
+                       "batch (0 = off)")
+    serve.add_argument("--stats-bytes-ttl", type=float, default=2.0, metavar="S",
+                       help="seconds the deep-sizeof byte estimate stays "
+                       "cached between STATS/metrics requests")
     serve.set_defaults(handler=_cmd_serve)
 
     replay = commands.add_parser("replay", help="stream a history into a daemon")
@@ -316,6 +337,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         gc_threshold=args.gc_threshold,
         gc_keep_recent=args.gc_keep_recent,
         protocol=args.protocol,
+        http_port=args.http_port,
+        slow_batch_ms=args.slow_batch_ms,
+        kernel_sample_every=args.kernel_sample_every,
+        stats_bytes_ttl=args.stats_bytes_ttl,
     )
     try:
         config.validate()
@@ -331,6 +356,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"listening on {host}:{port} ({config.checker_kind})", flush=True)
         if service.unix_path is not None:
             print(f"listening on unix:{service.unix_path} ({config.checker_kind})", flush=True)
+        if service.http_address is not None:
+            http_host, http_port = service.http_address
+            print(f"metrics on http://{http_host}:{http_port}/metrics", flush=True)
         loop = asyncio.get_running_loop()
 
         def _graceful() -> None:
@@ -424,6 +452,15 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    daemon_mode = args.port is not None or args.unix is not None
+    if daemon_mode and args.history is not None:
+        print("give either a history file or --port/--unix, not both", file=sys.stderr)
+        return 2
+    if daemon_mode:
+        return _print_daemon_stats(args)
+    if args.history is None:
+        print("give a history file, or --port/--unix to query a daemon", file=sys.stderr)
+        return 2
     history = load_history(args.history)
     stats = HistoryStats.of(history)
     print(f"transactions : {stats.n_transactions}")
@@ -434,6 +471,56 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(f"writes       : {stats.n_writes} registers, {stats.n_appends} appends")
     print(f"keys         : {stats.n_keys}")
     print(f"read-only    : {stats.n_read_only} transactions")
+    return 0
+
+
+def _print_daemon_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import CheckerClient
+
+    port = args.port if args.port is not None else 0
+    client = CheckerClient(args.host, port, unix_path=args.unix)
+    try:
+        client.connect()
+    except OSError as exc:
+        print(f"cannot reach the daemon: {exc}", file=sys.stderr)
+        return 2
+    with client:
+        stats = client.stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    throughput = stats.get("throughput", {})
+    latency = stats.get("latency", {})
+    gc = stats.get("gc", {})
+    print(f"checker      : {stats.get('checker', '?')} (uptime {stats.get('uptime_s', 0):.1f}s)")
+    print(f"processed    : {stats.get('processed', 0)} transactions "
+          f"({throughput.get('sustained_tps', 0):,.0f} sustained TPS)")
+    print(f"resident     : {stats.get('resident_txns', 0)} transactions"
+          + (f", ~{stats['estimated_bytes']:,} bytes"
+             if stats.get("estimated_bytes") is not None else ""))
+    print(f"violations   : {stats.get('violations', 0)}")
+    print(f"queue        : depth {stats.get('queue_depth', 0)}, "
+          f"high-water {stats.get('queue_high_water', 0)} / "
+          f"capacity {stats.get('queue_capacity', 0)} txns")
+    if latency.get("count"):
+        print(f"latency      : p50 {latency['p50_s'] * 1e3:.1f}ms, "
+              f"p95 {latency['p95_s'] * 1e3:.1f}ms, "
+              f"p99 {latency['p99_s'] * 1e3:.1f}ms "
+              f"({latency['count']} samples)")
+    print(f"gc           : {gc.get('cycles', 0)} cycles, "
+          f"debt {gc.get('debt', 0)} staged entries")
+    kernel = stats.get("kernel", {})
+    if kernel:
+        print(f"kernel       : {kernel.get('batches', 0)} batches, "
+              f"{kernel.get('txns', 0)} txns, "
+              f"{kernel.get('slow_batches', 0)} slow")
+    shards = stats.get("shards")
+    if shards:
+        for row in shards:
+            print(f"  shard {row['shard']:>2}  : {row['versions']} versions, "
+                  f"{row['intervals']} intervals, {row['ext_reads']} ext-reads")
     return 0
 
 

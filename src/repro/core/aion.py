@@ -326,6 +326,10 @@ class Aion:
         optimized = self.config.optimized_recheck
         collected = self._collected_upto
         stats = self._kernel_stats
+        perf_counter = time.perf_counter
+        timing = stats.timing_enabled()
+        track_total = timing or stats.slow_threshold > 0.0
+        t_batch0 = perf_counter() if track_total else 0.0
         stats.batches += 1
         n = len(txns)
         stats.txns += n
@@ -382,6 +386,7 @@ class Aion:
                 self._reload_below(None)
 
         # ---- route: decode into flat parallel arrays + per-key streams.
+        t_route0 = perf_counter() if timing else 0.0
         sessions = self._sessions
         r_keys: List[str] = []
         r_ts: List[int] = []
@@ -520,6 +525,11 @@ class Aion:
         n_writes = len(w_keys)
         stats.probe_reads += n_reads
         stats.probe_writes += n_writes
+        if timing:
+            t_probe0 = perf_counter()
+            stats.route_seconds += t_probe0 - t_route0
+        else:
+            t_probe0 = 0.0
 
         # ---- frontier probe: per-key streams in arrival order, executed
         # by the versioned layer's columnar kernel (one representation
@@ -539,6 +549,11 @@ class Aion:
             optimized,
             BOTTOM,
         )
+        if timing:
+            t_verdict0 = perf_counter()
+            stats.probe_seconds += t_verdict0 - t_probe0
+        else:
+            t_verdict0 = 0.0
 
         # ---- verdict: bulk-track, then walk the batch in arrival order.
         if n_reads:
@@ -592,6 +607,31 @@ class Aion:
         stats.verdict_reevals += n_reevals
         stats.verdict_conflicts += n_conflicts
         ext.arm_timers(armed, now)  # line 3:3
+        if track_total:
+            t_end = perf_counter()
+            total = t_end - t_batch0
+            if timing:
+                stats.timed_batches += 1
+                stats.verdict_seconds += t_end - t_verdict0
+                stats.batch_seconds += total
+            if stats.slow_threshold > 0.0 and total >= stats.slow_threshold:
+                top = sorted(
+                    key_streams.items(), key=lambda item: len(item[1]), reverse=True
+                )[:5]
+                stats.record_slow(
+                    {
+                        "checker": "aion",
+                        "seconds": round(total, 6),
+                        "batch_txns": n,
+                        "reads": n_reads,
+                        "writes": n_writes,
+                        "distinct_keys": len(key_streams),
+                        "route_s": round(t_probe0 - t_route0, 6) if timing else None,
+                        "probe_s": round(t_verdict0 - t_probe0, 6) if timing else None,
+                        "verdict_s": round(t_end - t_verdict0, 6) if timing else None,
+                        "top_keys": [[key, len(ops)] for key, ops in top],
+                    }
+                )
 
     # ------------------------------------------------------------------
     # Results
@@ -648,6 +688,22 @@ class Aion:
                 self._ext,
             )
         )
+
+    def gc_debt(self) -> int:
+        """Entries staged for the next collection cycle: lazy GC heap and
+        staging-list entries in the frontier and writer indexes, plus
+        deferred resident-index inserts — the work the next
+        ``collect_garbage`` pays before any eviction starts."""
+        return (
+            self._frontier.staged_gc_entries()
+            + self._writers.staged_gc_entries()
+            + len(self._resident_cts_pending)
+        )
+
+    def scan_step_totals(self) -> Tuple[int, int]:
+        """Summed ``(scan_steps, gc_scan_steps)`` over live promoted
+        writer-interval keys (see ``WriterIntervals.scan_step_totals``)."""
+        return self._writers.scan_step_totals()
 
     # ------------------------------------------------------------------
     # Garbage collection (lines 3:62–3:66)

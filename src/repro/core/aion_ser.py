@@ -128,6 +128,10 @@ class AionSer:
             return
         collected = self._collected_upto
         stats = self._kernel_stats
+        perf_counter = time.perf_counter
+        timing = stats.timing_enabled()
+        track_total = timing or stats.slow_threshold > 0.0
+        t_batch0 = perf_counter() if track_total else 0.0
         stats.batches += 1
         n = len(txns)
         stats.txns += n
@@ -146,6 +150,7 @@ class AionSer:
                 self._reload_below(None)
 
         # ---- route ----
+        t_route0 = perf_counter() if timing else 0.0
         sessions = self._sessions
         r_keys: List[str] = []
         r_ts: List[int] = []
@@ -267,6 +272,11 @@ class AionSer:
         n_writes = len(w_keys)
         stats.probe_reads += n_reads
         stats.probe_writes += n_writes
+        if timing:
+            t_probe0 = perf_counter()
+            stats.route_seconds += t_probe0 - t_route0
+        else:
+            t_probe0 = 0.0
 
         # ---- frontier probe ----
         frontier = self._frontier
@@ -296,6 +306,11 @@ class AionSer:
                 else:
                     r_expected[index] = value_before(key, r_ts[index], BOTTOM)
                     read_add(key, r_ts[index], r_tids[index], r_vals[index])
+        if timing:
+            t_verdict0 = perf_counter()
+            stats.probe_seconds += t_verdict0 - t_probe0
+        else:
+            t_verdict0 = 0.0
 
         # ---- verdict ----
         if n_reads:
@@ -328,6 +343,31 @@ class AionSer:
             ext.arm_timers(batch.tids, now)
         else:
             ext.arm_timers([txn.tid for txn in txns], now)
+        if track_total:
+            t_end = perf_counter()
+            total = t_end - t_batch0
+            if timing:
+                stats.timed_batches += 1
+                stats.verdict_seconds += t_end - t_verdict0
+                stats.batch_seconds += total
+            if stats.slow_threshold > 0.0 and total >= stats.slow_threshold:
+                top = sorted(
+                    key_streams.items(), key=lambda item: len(item[1]), reverse=True
+                )[:5]
+                stats.record_slow(
+                    {
+                        "checker": "aion-ser",
+                        "seconds": round(total, 6),
+                        "batch_txns": n,
+                        "reads": n_reads,
+                        "writes": n_writes,
+                        "distinct_keys": len(key_streams),
+                        "route_s": round(t_probe0 - t_route0, 6) if timing else None,
+                        "probe_s": round(t_verdict0 - t_probe0, 6) if timing else None,
+                        "verdict_s": round(t_end - t_verdict0, 6) if timing else None,
+                        "top_keys": [[key, len(ops)] for key, ops in top],
+                    }
+                )
 
     def _receive_one(self, txn: Transaction, now: float) -> None:
         if txn.start_ts > txn.commit_ts:
@@ -428,6 +468,15 @@ class AionSer:
     def estimated_bytes(self) -> int:
         """Deep-size estimate of the checker's live structures."""
         return deep_sizeof((self._frontier, self._ext_reads, self._resident, self._ext))
+
+    def gc_debt(self) -> int:
+        """Entries staged for the next collection cycle (SER keeps no
+        writer intervals, so only the frontier contributes)."""
+        return self._frontier.staged_gc_entries()
+
+    def scan_step_totals(self) -> Tuple[int, int]:
+        """SER keeps no writer-interval index; no scan counters accrue."""
+        return 0, 0
 
     # ------------------------------------------------------------------
     # Garbage collection

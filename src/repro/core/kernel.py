@@ -48,6 +48,15 @@ class KernelStats:
         "verdict_tracks",
         "verdict_reevals",
         "verdict_conflicts",
+        "sample_every",
+        "timed_batches",
+        "route_seconds",
+        "probe_seconds",
+        "verdict_seconds",
+        "batch_seconds",
+        "slow_threshold",
+        "slow_batches",
+        "on_slow_batch",
     )
 
     def __init__(self) -> None:
@@ -71,8 +80,49 @@ class KernelStats:
         self.verdict_reevals = 0
         #: NOCONFLICT violations reported by the verdict pass.
         self.verdict_conflicts = 0
+        #: Sample per-stage wall times on every Nth batch; 0 disables
+        #: timing entirely (the library/bench default — a comparison and
+        #: branch is all an untimed batch pays).
+        self.sample_every = 0
+        #: Batches whose stage timings were sampled.
+        self.timed_batches = 0
+        #: Accumulated wall time of sampled batches, per stage, seconds.
+        self.route_seconds = 0.0
+        self.probe_seconds = 0.0
+        self.verdict_seconds = 0.0
+        #: Whole-call wall time of sampled batches, seconds (covers the
+        #: three stages plus routing glue; ≥ the stage sum).
+        self.batch_seconds = 0.0
+        #: Whole-call wall time (seconds) above which a batch is traced
+        #: through :attr:`on_slow_batch`; 0.0 disables the trace.
+        self.slow_threshold = 0.0
+        #: Batches that crossed :attr:`slow_threshold`.
+        self.slow_batches = 0
+        #: Optional hook called with a structured trace record for each
+        #: slow batch (e.g. :meth:`repro.obs.trace.SlowBatchLog.record`).
+        self.on_slow_batch: Optional[Any] = None
 
-    def as_dict(self) -> Dict[str, int]:
+    def timing_enabled(self) -> bool:
+        """Whether the *next* batch should sample stage wall times."""
+        return self.sample_every > 0 and self.batches % self.sample_every == 0
+
+    def tracking_enabled(self) -> bool:
+        """Whether the next batch needs a whole-call wall-time measure
+        (sampled timing, or slow-batch tracing on every batch)."""
+        return self.slow_threshold > 0.0 or self.timing_enabled()
+
+    def record_slow(self, trace: Dict[str, Any]) -> None:
+        """Count a slow batch and invoke the hook, swallowing hook errors
+        — tracing must never change a verdict or kill ingestion."""
+        self.slow_batches += 1
+        hook = self.on_slow_batch
+        if hook is not None:
+            try:
+                hook(trace)
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+    def as_dict(self) -> Dict[str, Any]:
         """Plain-dict snapshot for the service ``STATS`` response."""
         return {
             "batches": self.batches,
@@ -84,6 +134,12 @@ class KernelStats:
             "verdict_tracks": self.verdict_tracks,
             "verdict_reevals": self.verdict_reevals,
             "verdict_conflicts": self.verdict_conflicts,
+            "timed_batches": self.timed_batches,
+            "route_seconds": self.route_seconds,
+            "probe_seconds": self.probe_seconds,
+            "verdict_seconds": self.verdict_seconds,
+            "batch_seconds": self.batch_seconds,
+            "slow_batches": self.slow_batches,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -212,6 +212,21 @@ class _ShardCore:
                 results.append((self.frontier.evict_below(ts), self.writers.evict_below(ts)))
             elif op == "sizeof":
                 results.append(deep_sizeof((self.frontier, self.writers, self.ext_reads)))
+            elif op == "counts":
+                scan, gc_scan = self.writers.scan_step_totals()
+                results.append(
+                    {
+                        "versions": len(self.frontier),
+                        "intervals": len(self.writers),
+                        "ext_reads": len(self.ext_reads),
+                        "scan_steps": scan,
+                        "gc_scan_steps": gc_scan,
+                        "staged_gc": (
+                            self.frontier.staged_gc_entries()
+                            + self.writers.staged_gc_entries()
+                        ),
+                    }
+                )
             else:  # pragma: no cover - guarded by the coordinator
                 raise ValueError(f"unknown shard command {op!r}")
         return results
@@ -311,6 +326,10 @@ class ShardedAion:
         self._pending_removals: List[List[Tuple[str, int, int]]] = [
             [] for _ in range(n_shards)
         ]
+        #: Flat-stream command count per shard for the most recent batch —
+        #: the cheap per-shard load-skew signal :meth:`shard_stats` and the
+        #: slow-batch trace export.
+        self._last_batch_commands: List[int] = [0] * n_shards
         self._cores: Optional[List[_ShardCore]] = None
         self._workers: List[multiprocessing.Process] = []
         self._conns: List[Any] = []
@@ -363,11 +382,16 @@ class ShardedAion:
         if not txns:
             return
         stats = self._kernel_stats
+        perf_counter = time.perf_counter
+        timing = stats.timing_enabled()
+        track_total = timing or stats.slow_threshold > 0.0
+        t_batch0 = perf_counter() if track_total else 0.0
         stats.batches += 1
         stats.txns += len(txns)
         if len(txns) > stats.max_batch:
             stats.max_batch = len(txns)
 
+        t_route0 = perf_counter() if timing else 0.0
         streams: List[_FlatStream] = [
             ([], [], [], [], []) for _ in range(self.n_shards)
         ]
@@ -383,8 +407,38 @@ class ShardedAion:
                 self._pending_removals[shard] = []
 
         plan = self._route_batch(txns, streams)
+        self._last_batch_commands = [len(stream[0]) for stream in streams]
+        if timing:
+            t_probe0 = perf_counter()
+            stats.route_seconds += t_probe0 - t_route0
+        else:
+            t_probe0 = 0.0
         shard_results = self._execute(streams)
+        if timing:
+            t_verdict0 = perf_counter()
+            stats.probe_seconds += t_verdict0 - t_probe0
+        else:
+            t_verdict0 = 0.0
         self._merge(plan, shard_results, now)
+        if track_total:
+            t_end = perf_counter()
+            total = t_end - t_batch0
+            if timing:
+                stats.timed_batches += 1
+                stats.verdict_seconds += t_end - t_verdict0
+                stats.batch_seconds += total
+            if stats.slow_threshold > 0.0 and total >= stats.slow_threshold:
+                stats.record_slow(
+                    {
+                        "checker": "sharded-aion",
+                        "seconds": round(total, 6),
+                        "batch_txns": len(txns),
+                        "shard_commands": list(self._last_batch_commands),
+                        "route_s": round(t_probe0 - t_route0, 6) if timing else None,
+                        "probe_s": round(t_verdict0 - t_probe0, 6) if timing else None,
+                        "verdict_s": round(t_end - t_verdict0, 6) if timing else None,
+                    }
+                )
 
     def receive_many_threadsafe(self, txns: List[Transaction]) -> None:
         """Batch ingestion under :attr:`ingest_lock` — the entry point
@@ -654,6 +708,51 @@ class ShardedAion:
             for conn in self._conns:
                 total += conn.recv()[0]
         return total
+
+    def _shard_counts(self) -> List[Dict[str, int]]:
+        """Per-shard structure/scan counters via the control plane.
+
+        Observability path only — serial mode walks the cores in-process;
+        process mode round-trips one tiny ``counts`` command per worker.
+        Call under :attr:`ingest_lock` when ingestion runs concurrently.
+        """
+        if self._cores is not None:
+            return [core.execute([("counts",)])[0] for core in self._cores]
+        for conn in self._conns:
+            conn.send(("cmds", [("counts",)]))
+        return [conn.recv()[0] for conn in self._conns]
+
+    def shard_stats(self) -> List[Dict[str, int]]:
+        """One row per shard: structure sizes, scan counters, staged GC,
+        deferred read removals, and the latest batch's command count."""
+        rows = self._shard_counts()
+        for shard, row in enumerate(rows):
+            row["shard"] = shard
+            row["pending_removals"] = len(self._pending_removals[shard])
+            row["last_batch_commands"] = self._last_batch_commands[shard]
+        return rows
+
+    def gc_debt(self) -> int:
+        """Entries staged for the next collection cycle across all shards."""
+        return sum(row["staged_gc"] for row in self._shard_counts())
+
+    def scan_step_totals(self) -> Tuple[int, int]:
+        """Summed ``(scan_steps, gc_scan_steps)`` across all shards."""
+        scan = 0
+        gc_scan = 0
+        for row in self._shard_counts():
+            scan += row["scan_steps"]
+            gc_scan += row["gc_scan_steps"]
+        return scan, gc_scan
+
+    def workers_alive(self) -> bool:
+        """Whether every shard executor can still take a batch (serial
+        cores always can; process mode checks the worker processes)."""
+        if self._cores is not None:
+            return True
+        if not self._workers:
+            return False
+        return all(worker.is_alive() for worker in self._workers)
 
     # ------------------------------------------------------------------
     # Garbage collection

@@ -380,6 +380,11 @@ class VersionedFrontier:
                 smallest = ts
         return smallest
 
+    def staged_gc_entries(self) -> int:
+        """Heap + staging entries awaiting the next ``evict_below`` — the
+        GC-debt contribution of this frontier."""
+        return len(self._gc_heap) + len(self._gc_pending)
+
 
 class WriterIntervals:
     """Per-key interval index over writer lifetimes (``ongoing_ts``).
@@ -549,6 +554,28 @@ class WriterIntervals:
         for key, intervals in segment.items():
             for start_ts, commit_ts, tid in intervals:
                 self.add(key, start_ts, commit_ts, tid)
+
+    def scan_step_totals(self) -> Tuple[int, int]:
+        """Summed ``(scan_steps, gc_scan_steps)`` over live promoted keys.
+
+        Only keys promoted to an :class:`IntervalIndex` maintain scan
+        counters (the small-rep fast path bisects flat lists and counts
+        nothing); eviction never demotes a promoted key, so the live sum
+        is cumulative for every key still promoted.  Observability-path
+        only — an O(promoted keys) walk, never on ingest.
+        """
+        scan = 0
+        gc_scan = 0
+        for rep in self._by_key.values():
+            if type(rep) is not tuple:
+                scan += rep.scan_steps
+                gc_scan += rep.gc_scan_steps
+        return scan, gc_scan
+
+    def staged_gc_entries(self) -> int:
+        """Heap + staging entries awaiting the next ``evict_below`` — the
+        GC-debt contribution of this index."""
+        return len(self._gc_heap) + len(self._gc_pending)
 
 
 class ExtReadIndex:

@@ -1,0 +1,36 @@
+"""repro.obs — the daemon's operability surface.
+
+A checker you run against live traffic is only as trustworthy as what
+you can see of it while it runs.  This package holds the pieces that
+make :mod:`repro.service` observable without a redeploy and without
+third-party dependencies:
+
+- :mod:`repro.obs.registry` — a lock-cheap metrics registry (monotonic
+  counters, gauges, fixed-bucket histograms) with a Prometheus
+  text-format encoder, the model Prometheus/Grafana scrape;
+- :mod:`repro.obs.http` — a minimal asyncio HTTP sidecar (no aiohttp)
+  that serves ``GET /metrics``, ``GET /health``, and ``GET /stats``
+  next to the wire-protocol listeners;
+- :mod:`repro.obs.trace` — the slow-batch trace log: a structured
+  record per ``receive_many`` call that exceeded a configured wall-time
+  threshold (stage timings, batch shape, hottest keys), kept in a
+  bounded ring and mirrored to stderr.
+
+The hot path stays honest about its cost: per-stage wall times in
+:class:`~repro.core.kernel.KernelStats` are sampled one batch in N, and
+the differential tests in ``tests/test_obs.py`` pin that enabling every
+piece of this package never changes a verdict.
+"""
+
+from repro.obs.http import HttpSidecar
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import SlowBatchLog
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HttpSidecar",
+    "MetricsRegistry",
+    "SlowBatchLog",
+]

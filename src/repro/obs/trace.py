@@ -1,0 +1,73 @@
+"""Slow-batch tracing: structured records for outlier ``receive_many`` calls.
+
+Aggregate metrics tell you *that* p99 moved; a slow-batch trace tells
+you *why*: which stage ate the time, how the batch was shaped, and
+which keys dominated it.  The kernel calls the hook with a plain dict
+(see ``KernelStats.on_slow_batch``); this module keeps the most recent
+records in a bounded ring for ``/stats`` and mirrors each one to a
+stream (stderr by default) as single-line JSON so an operator tailing
+the daemon's log sees outliers as they happen.
+
+Recording is off the hot path by construction — the hook only fires
+for batches already past the configured threshold — so a little lock
+and a JSON dump per slow batch is fine.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from collections import deque
+from typing import Any, Dict, List, Optional, TextIO
+
+__all__ = ["SlowBatchLog"]
+
+#: Default ring capacity: enough history to correlate a latency alert
+#: with its offending batches, small enough to never matter for memory.
+_DEFAULT_KEEP = 64
+
+
+class SlowBatchLog:
+    """Bounded ring of slow-batch trace records, mirrored to a stream."""
+
+    def __init__(self, keep: int = _DEFAULT_KEEP, stream: Optional[TextIO] = None) -> None:
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self._records: deque = deque(maxlen=keep)
+        self._lock = threading.Lock()
+        #: ``None`` stream disables mirroring (tests); default stderr.
+        self._stream = stream if stream is not None else sys.stderr
+        self.total: int = 0
+
+    def record(self, trace: Dict[str, Any]) -> None:
+        """Store one trace record and mirror it as one-line JSON.
+
+        Usable directly as a ``KernelStats.on_slow_batch`` hook.  Never
+        raises: a broken stderr must not take down verdict processing.
+        """
+        with self._lock:
+            self.total += 1
+            seq = self.total
+            entry = dict(trace)
+            entry["seq"] = seq
+            self._records.append(entry)
+        if self._stream is not None:
+            try:
+                line = json.dumps({"slow_batch": entry}, default=str, sort_keys=True)
+                self._stream.write(line + "\n")
+                self._stream.flush()
+            except Exception:
+                pass
+
+    def tail(self, n: Optional[int] = None) -> List[Dict[str, Any]]:
+        """The most recent ``n`` records (all retained ones by default)."""
+        with self._lock:
+            records = list(self._records)
+        if n is not None:
+            records = records[-n:]
+        return records
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)

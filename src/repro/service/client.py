@@ -54,7 +54,39 @@ from repro.service.protocol import (
     violation_from_dict,
 )
 
-__all__ = ["CheckerClient", "ServiceError"]
+__all__ = ["CheckerClient", "ServiceError", "http_get_json", "http_get_text"]
+
+
+def http_get_text(
+    host: str, port: int, path: str, timeout: float = 10.0
+) -> Tuple[int, str]:
+    """``GET`` a path from the daemon's HTTP sidecar: ``(status, body)``.
+
+    Stdlib-only (``http.client``) so CLI tools and tests can hit
+    ``/metrics`` and ``/health`` without depending on an HTTP library.
+    Non-2xx statuses are returned, not raised — ``/health`` uses 503 as
+    a meaningful answer.
+    """
+    import http.client
+
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        body = response.read().decode("utf-8", "replace")
+        return response.status, body
+    finally:
+        conn.close()
+
+
+def http_get_json(
+    host: str, port: int, path: str, timeout: float = 10.0
+) -> Tuple[int, Any]:
+    """:func:`http_get_text` with the body parsed as JSON."""
+    import json
+
+    status, body = http_get_text(host, port, path, timeout=timeout)
+    return status, json.loads(body)
 
 
 class ServiceError(RuntimeError):

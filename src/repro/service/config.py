@@ -68,6 +68,26 @@ class ServiceConfig:
     #: first byte.  ``"v1"`` pins the daemon to ndjson only: v2-capable
     #: clients see ``protocols: [1]`` in the welcome and fall back.
     protocol: str = "v2"
+    #: TCP port of the HTTP observability sidecar (``/metrics``,
+    #: ``/health``, ``/stats``); 0 binds an ephemeral port (read it back
+    #: from ``CheckerService.http_address``), ``None`` (the default)
+    #: disables the sidecar entirely.
+    http_port: Optional[int] = None
+    #: Seconds the ``deep_sizeof`` byte estimate stays cached.  Wire
+    #: STATS requests and ``/metrics`` scrapes share the cached figure so
+    #: a scrape loop cannot stall ingest by re-walking the checker's
+    #: structures under the ingest lock on every request; 0 disables the
+    #: cache (every request re-measures).
+    stats_bytes_ttl: float = 2.0
+    #: Sample per-stage kernel wall times on every Nth drained batch
+    #: (``KernelStats.sample_every``); 0 disables stage timing.  The
+    #: default keeps the hot path within bench noise while still feeding
+    #: the stage-seconds counters on ``/metrics``.
+    kernel_sample_every: int = 16
+    #: Wall-time threshold in *milliseconds* above which one
+    #: ``receive_many`` call is traced as a slow batch (structured record
+    #: to stderr + ring buffer); ``None`` disables the trace.
+    slow_batch_ms: Optional[float] = None
 
     def validate(self) -> None:
         if self.port is None and self.unix_path is None:
@@ -88,6 +108,14 @@ class ServiceConfig:
             raise ValueError("poll_interval must be positive")
         if self.protocol not in ("v1", "v2"):
             raise ValueError(f"protocol must be 'v1' or 'v2', got {self.protocol!r}")
+        if self.http_port is not None and not 0 <= self.http_port <= 65535:
+            raise ValueError("http_port must be in [0, 65535]")
+        if self.stats_bytes_ttl < 0:
+            raise ValueError("stats_bytes_ttl must be >= 0")
+        if self.kernel_sample_every < 0:
+            raise ValueError("kernel_sample_every must be >= 0")
+        if self.slow_batch_ms is not None and self.slow_batch_ms <= 0:
+            raise ValueError("slow_batch_ms must be positive when set")
         if self.gc_keep_recent is not None:
             if self.gc_keep_recent < 0:
                 raise ValueError("gc_keep_recent must be >= 0")

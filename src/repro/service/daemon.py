@@ -47,6 +47,7 @@ a synchronous program.
 from __future__ import annotations
 
 import asyncio
+import json
 import math
 import sys
 import threading
@@ -57,6 +58,9 @@ from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 from repro.core.violations import CheckResult
 from repro.histories.model import Transaction
 from repro.histories.serialization import ColumnarBatch, txn_from_dict
+from repro.obs.http import HttpSidecar
+from repro.obs.registry import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.trace import SlowBatchLog
 from repro.online.metrics import ThroughputSeries
 from repro.service.config import ServiceConfig
 from repro.service.framing import (
@@ -109,17 +113,26 @@ class _IngestQueue:
     An item heavier than the whole capacity is admitted when the queue
     is idle — a producer must not deadlock on a frame the configuration
     can never fit.
+
+    Every entry also carries its submit *stamp* (``time.monotonic()`` at
+    decode) so the drain loop can close the submit→verdict latency
+    histogram without a side table, and :attr:`high_water` tracks the
+    deepest transaction-weighted backlog ever queued — the signal that a
+    capacity bound is actually being hit, which a depth gauge sampled at
+    scrape time routinely misses.
     """
 
     def __init__(self, capacity: int) -> None:
         self._capacity = capacity
-        self._items: Deque[Tuple[Any, int]] = deque()
+        self._items: Deque[Tuple[Any, int, float]] = deque()
         self._size = 0  # queued weight
         self._unfinished = 0  # admitted weight not yet task_done()
         self._getters: Deque[asyncio.Future] = deque()
         self._putters: Deque[asyncio.Future] = deque()
         self._finished = asyncio.Event()
         self._finished.set()
+        #: Deepest transaction-weighted depth ever reached.
+        self.high_water = 0
 
     def qsize(self) -> int:
         return self._size
@@ -127,7 +140,7 @@ class _IngestQueue:
     def empty(self) -> bool:
         return not self._items
 
-    async def put(self, item: Any, weight: int = 1) -> None:
+    async def put(self, item: Any, weight: int = 1, stamp: float = 0.0) -> None:
         while self._size > 0 and self._size + weight > self._capacity:
             fut: asyncio.Future = asyncio.get_running_loop().create_future()
             self._putters.append(fut)
@@ -139,11 +152,13 @@ class _IngestQueue:
                 except ValueError:
                     pass
                 raise
-        self.put_nowait(item, weight)
+        self.put_nowait(item, weight, stamp)
 
-    def put_nowait(self, item: Any, weight: int = 1) -> None:
-        self._items.append((item, weight))
+    def put_nowait(self, item: Any, weight: int = 1, stamp: float = 0.0) -> None:
+        self._items.append((item, weight, stamp))
         self._size += weight
+        if self._size > self.high_water:
+            self.high_water = self._size
         self._unfinished += weight
         self._finished.clear()
         while self._getters:
@@ -152,7 +167,7 @@ class _IngestQueue:
                 fut.set_result(None)
                 break
 
-    async def get(self) -> Tuple[Any, int]:
+    async def get(self) -> Tuple[Any, int, float]:
         while not self._items:
             fut: asyncio.Future = asyncio.get_running_loop().create_future()
             self._getters.append(fut)
@@ -166,10 +181,10 @@ class _IngestQueue:
                 raise
         return self.get_nowait()
 
-    def get_nowait(self) -> Tuple[Any, int]:
+    def get_nowait(self) -> Tuple[Any, int, float]:
         if not self._items:
             raise asyncio.QueueEmpty
-        item, weight = self._items.popleft()
+        item, weight, stamp = self._items.popleft()
         self._size -= weight
         # Wake every waiting putter; each re-checks the capacity and the
         # ones that still do not fit simply wait again.
@@ -177,7 +192,7 @@ class _IngestQueue:
             fut = self._putters.popleft()
             if not fut.done():
                 fut.set_result(None)
-        return item, weight
+        return item, weight, stamp
 
     def task_done(self, weight: int = 1) -> None:
         self._unfinished -= weight
@@ -249,6 +264,42 @@ class CheckerService:
             }
             for codec in ("v1", "v2")
         }
+        #: HTTP observability sidecar (``/metrics``, ``/health``,
+        #: ``/stats``); bound in :meth:`start` when ``http_port`` is set.
+        self._http: Optional[HttpSidecar] = None
+        self.http_address: Optional[Tuple[str, int]] = None
+        #: ``(value, measured_at)`` cache for ``estimated_bytes`` — the
+        #: deep-sizeof walk runs under the ingest lock, so wire STATS and
+        #: ``/metrics`` share one measurement per TTL window instead of
+        #: stalling ingest per request.
+        self._bytes_cache: Optional[Tuple[int, float]] = None
+        self._bytes_cache_lock = threading.Lock()
+        #: Monotonic stamps of the last completed drain cycle / idle EXT
+        #: poll, feeding the ``/health`` freshness components.
+        self._last_drain_at: Optional[float] = None
+        self._last_poll_at: Optional[float] = None
+        #: Slow-batch trace ring (see :mod:`repro.obs.trace`), wired as
+        #: the kernel's ``on_slow_batch`` hook when ``slow_batch_ms`` is
+        #: configured.
+        self.slow_batch_log = SlowBatchLog()
+        kernel_stats = getattr(self.checker, "kernel_stats", None)
+        if kernel_stats is not None:
+            kernel_stats.sample_every = self.config.kernel_sample_every
+            if self.config.slow_batch_ms is not None:
+                kernel_stats.slow_threshold = self.config.slow_batch_ms / 1000.0
+                kernel_stats.on_slow_batch = self.slow_batch_log.record
+        #: The metrics registry behind ``GET /metrics``.  The submit→
+        #: verdict histogram is the only live-updated instrument (one
+        #: ``observe`` per drained queue entry); everything else mirrors
+        #: hot-path counters at scrape time, so enabling the sidecar
+        #: costs the ingest path nothing.
+        self.metrics = MetricsRegistry()
+        self.latency = self.metrics.histogram(
+            "repro_submit_to_verdict_seconds",
+            "Latency from submit decode to post-verdict drain completion",
+            DEFAULT_LATENCY_BUCKETS,
+        )
+        self._build_metric_families()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -275,6 +326,18 @@ class CheckerService:
             )
             self._servers.append(server)
             self.unix_path = str(self.config.unix_path)
+        if self.config.http_port is not None:
+            self._http = HttpSidecar(
+                self.config.host,
+                self.config.http_port,
+                {
+                    "/metrics": self._http_metrics,
+                    "/health": self._http_health,
+                    "/stats": self._http_stats,
+                },
+            )
+            await self._http.start()
+            self.http_address = self._http.address
         self._drain_task = asyncio.get_running_loop().create_task(self._drain_loop())
         if math.isfinite(self.config.timeout):
             # A finite EXT timeout arms real-clock deadlines that must
@@ -318,6 +381,8 @@ class CheckerService:
         # cleanup happens when the loop exits.
         for server in self._servers:
             server.close()
+        if self._http is not None:
+            self._http.close()
         # Drain everything already admitted, then stop the drain loop.
         assert self._queue is not None
         await self._queue.join()
@@ -339,14 +404,14 @@ class CheckerService:
         # flushing until the queue stays empty across an event-loop
         # yield, which gives every woken putter its final turn.
         while True:
-            leftovers: List[Tuple[Any, int]] = []
+            leftovers: List[Tuple[Any, int, float]] = []
             total = 0
             while True:
                 try:
-                    item, weight = self._queue.get_nowait()
+                    item, weight, stamp = self._queue.get_nowait()
                 except asyncio.QueueEmpty:
                     break
-                leftovers.append((item, weight))
+                leftovers.append((item, weight, stamp))
                 total += weight
             if leftovers:
                 try:
@@ -402,15 +467,15 @@ class CheckerService:
         queue = self._queue
         batch_size = self.config.batch_size
         while True:
-            item, weight = await queue.get()
-            items: List[Tuple[Any, int]] = [(item, weight)]
+            item, weight, stamp = await queue.get()
+            items: List[Tuple[Any, int, float]] = [(item, weight, stamp)]
             total = weight
             while total < batch_size:
                 try:
-                    item, weight = queue.get_nowait()
+                    item, weight, stamp = queue.get_nowait()
                 except asyncio.QueueEmpty:
                     break
-                items.append((item, weight))
+                items.append((item, weight, stamp))
                 total += weight
             try:
                 try:
@@ -435,10 +500,20 @@ class CheckerService:
                         file=sys.stderr,
                     )
                 else:
+                    done_at = time.monotonic()
+                    self._last_drain_at = done_at
                     with self._throughput_lock:
-                        self.throughput.record(
-                            time.monotonic() - self.started_at, total
-                        )
+                        self.throughput.record(done_at - self.started_at, total)
+                    # Close the submit→verdict histogram: every queue
+                    # entry was stamped at submit decode, and its
+                    # verdicts (synchronous ones, plus this batch's
+                    # re-evaluations) are emitted by the ingest hop that
+                    # just returned.  Weighted by transactions so v1 and
+                    # v2 producers aggregate comparably.
+                    observe = self.latency.observe
+                    for _item, item_weight, item_stamp in items:
+                        if item_stamp > 0.0:
+                            observe(done_at - item_stamp, item_weight)
                     try:
                         await self._maybe_collect()
                         await self._broadcast(fresh)
@@ -456,7 +531,7 @@ class CheckerService:
                 queue.task_done(total)
 
     @staticmethod
-    def _coalesce(items: List[Tuple[Any, int]]) -> List[Any]:
+    def _coalesce(items: List[Tuple[Any, int, float]]) -> List[Any]:
         """Group drained queue entries into ``receive_many()`` calls.
 
         Runs of bare transactions merge into one list; a columnar batch
@@ -466,7 +541,7 @@ class CheckerService:
         """
         groups: List[Any] = []
         run: Optional[List[Transaction]] = None
-        for item, _ in items:
+        for item, _weight, _stamp in items:
             if isinstance(item, ColumnarBatch):
                 groups.append(item)
                 run = None
@@ -488,6 +563,7 @@ class CheckerService:
             await asyncio.sleep(self.config.poll_interval)
             try:
                 await self._broadcast(await self._run_checker(self._fresh_violation_messages))
+                self._last_poll_at = time.monotonic()
             except Exception as exc:
                 print(
                     f"repro.service: idle poll failed: {type(exc).__name__}: {exc}",
@@ -712,6 +788,9 @@ class CheckerService:
 
     async def _handle_submit(self, message: Dict[str, Any], writer: asyncio.StreamWriter) -> bool:
         seq = message.get("seq")
+        # Latency stamp taken once at decode: the histogram then measures
+        # queue wait + checking, i.e. the daemon-side submit→verdict path.
+        stamp = time.monotonic()
         if self._shutting_down:
             self._send(writer, {"type": "error", "seq": seq, "message": "service is shutting down"})
             return True
@@ -735,7 +814,7 @@ class CheckerService:
                 # handler is suspended on a full queue.
                 if self._shutting_down:
                     break
-                await self._queue.put(piece, len(piece))
+                await self._queue.put(piece, len(piece), stamp)
                 admitted += len(piece)
             self.received += admitted
             if admitted < total:
@@ -780,7 +859,7 @@ class CheckerService:
                 break
             # Admission blocks when the queue is full: this reader stops
             # consuming its socket and the producer sees TCP backpressure.
-            await self._queue.put(txn)
+            await self._queue.put(txn, 1, stamp)
             admitted += 1
         self.received += admitted
         if admitted < len(txns):
@@ -875,25 +954,60 @@ class CheckerService:
     # Introspection
     # ------------------------------------------------------------------
 
+    def _estimated_bytes_cached(self) -> int:
+        """The checker's deep-size estimate, cached for ``stats_bytes_ttl``.
+
+        The measurement itself is O(resident state) *under the ingest
+        lock*; wire STATS requests and ``/metrics`` scrapes both land
+        here, so one measurement per TTL window serves every consumer and
+        a scrape loop cannot stall ingest.  Runs on a worker thread.
+        """
+        ttl = self.config.stats_bytes_ttl
+        with self._bytes_cache_lock:
+            cached = self._bytes_cache
+            if cached is not None and ttl > 0 and time.monotonic() - cached[1] < ttl:
+                return cached[0]
+        with self._lock:
+            value = self.checker.estimated_bytes()
+        with self._bytes_cache_lock:
+            self._bytes_cache = (value, time.monotonic())
+        return value
+
     def stats(self, include_bytes: bool = True) -> Dict[str, Any]:
         """Counters for the ``STATS`` request (and the CLI's summary).
 
         ``include_bytes=False`` skips ``estimated_bytes`` (a deep sizeof
-        walk over all resident state, O(resident txns) under the ingest
-        lock) — the cheap mode for a monitoring poller on a hot daemon;
-        the wire request opts out with ``{"type": "stats", "bytes": false}``.
+        walk over all resident state — cached for ``stats_bytes_ttl``
+        seconds, so repeated requests inside the window cost nothing) —
+        the cheap mode for a monitoring poller on a hot daemon; the wire
+        request opts out with ``{"type": "stats", "bytes": false}``.
         """
+        estimated_bytes = self._estimated_bytes_cached() if include_bytes else None
         with self._lock:
             resident = self.checker.resident_txn_count
             processed = self.checker.processed
             violations = len(self.checker.result.violations)
-            estimated_bytes = self.checker.estimated_bytes() if include_bytes else None
             # Batch-kernel checkers expose per-stage op counters; offline
             # wrappers (Chronos) do not — report null rather than omit so
             # pollers see a stable schema.
             kernel_stats = getattr(self.checker, "kernel_stats", None)
             kernel = kernel_stats.as_dict() if kernel_stats is not None else None
+            # Per-shard rows carry their own staged-GC / scan counters;
+            # reuse them for the aggregate figures instead of issuing a
+            # second control-plane round trip per shard.
+            shard_stats = getattr(self.checker, "shard_stats", None)
+            shards = shard_stats() if shard_stats is not None else None
+            if shards is not None:
+                gc_debt = sum(row["staged_gc"] for row in shards)
+                scan_steps = sum(row["scan_steps"] for row in shards)
+                gc_scan_steps = sum(row["gc_scan_steps"] for row in shards)
+            else:
+                debt_fn = getattr(self.checker, "gc_debt", None)
+                gc_debt = debt_fn() if debt_fn is not None else 0
+                scan_fn = getattr(self.checker, "scan_step_totals", None)
+                scan_steps, gc_scan_steps = scan_fn() if scan_fn is not None else (0, 0)
         queue_depth = self._queue.qsize() if self._queue is not None else 0
+        queue_high_water = self._queue.high_water if self._queue is not None else 0
         with self._throughput_lock:
             throughput = self.throughput.snapshot()
         return {
@@ -906,6 +1020,8 @@ class CheckerService:
             "received": self.received,
             "processed": processed,
             "queue_depth": queue_depth,
+            "queue_high_water": queue_high_water,
+            "queue_capacity": self.config.queue_capacity,
             "resident_txns": resident,
             "violations": violations,
             "subscribers": len(self._subscribers),
@@ -915,12 +1031,293 @@ class CheckerService:
             "last_ingest_error": self.last_ingest_error,
             "throughput": throughput,
             "kernel": kernel,
+            "latency": self.latency.summary(),
+            "interval_scan_steps": scan_steps,
+            "interval_gc_scan_steps": gc_scan_steps,
             "gc": {
                 "cycles": self.gc_cycles,
                 "seconds": round(self.gc_seconds, 6),
                 "threshold": self.config.gc_threshold,
+                "debt": gc_debt,
+            },
+            "shards": shards,
+            "slow_batches": {
+                "total": self.slow_batch_log.total,
+                "recent": self.slow_batch_log.tail(3),
             },
         }
+
+    def health(self) -> Tuple[bool, Dict[str, Any]]:
+        """Componentized liveness: ``(overall ok, JSON-ready detail)``.
+
+        Designed to run on the event loop without touching the checker
+        (no ingest-lock hop): every input is either task state or a
+        counter the loop thread already owns.  Components:
+
+        - ``drain`` — the drain task exists and has not died.  A dead
+          drain task means acked transactions will never be checked.
+        - ``backlog`` — the violation replay backlog has room.  At
+          capacity, late subscribers silently lose history.
+        - ``queue`` — depth vs. capacity (reported, never failing:
+          a full queue is backpressure doing its job).
+        - ``ext_timer`` — with a finite EXT timeout, the idle poll task
+          is alive and has polled recently; on an infinite timeout the
+          component is reported as disabled and always healthy.
+        - ``shards`` — process-mode shard workers are all alive
+          (serial executors are trivially healthy).
+        """
+        now = time.monotonic()
+        components: Dict[str, Dict[str, Any]] = {}
+
+        drain_ok = self._drain_task is not None and not self._drain_task.done()
+        drain_age = None if self._last_drain_at is None else round(now - self._last_drain_at, 3)
+        components["drain"] = {
+            "ok": drain_ok,
+            "detail": "alive" if drain_ok else "drain task is not running",
+            "last_batch_age_s": drain_age,
+        }
+
+        backlog_size = len(self._violation_log)
+        backlog_cap = self._violation_log.maxlen or 0
+        backlog_ok = backlog_size < backlog_cap
+        components["backlog"] = {
+            "ok": backlog_ok,
+            "detail": "saturated — oldest replay entries are being dropped"
+            if not backlog_ok
+            else "has room",
+            "size": backlog_size,
+            "capacity": backlog_cap,
+        }
+
+        depth = self._queue.qsize() if self._queue is not None else 0
+        components["queue"] = {
+            "ok": True,
+            "detail": "backpressure engaged" if depth >= self.config.queue_capacity else "flowing",
+            "depth": depth,
+            "capacity": self.config.queue_capacity,
+            "high_water": self._queue.high_water if self._queue is not None else 0,
+        }
+
+        if math.isfinite(self.config.timeout):
+            tick_ok = self._tick_task is not None and not self._tick_task.done()
+            poll_age = None if self._last_poll_at is None else now - self._last_poll_at
+            # Freshness bound: generous enough that one long drain batch
+            # cannot flap the endpoint, tight enough that a wedged loop
+            # is caught within seconds.
+            stale_after = max(10 * self.config.poll_interval, 5.0)
+            started_age = now - self.started_at
+            fresh = (
+                poll_age < stale_after
+                if poll_age is not None
+                else started_age < stale_after  # no poll due yet after start
+            )
+            components["ext_timer"] = {
+                "ok": tick_ok and fresh,
+                "detail": "polling"
+                if tick_ok and fresh
+                else ("tick task is not running" if not tick_ok else "polls are stale"),
+                "poll_age_s": None if poll_age is None else round(poll_age, 3),
+                "poll_interval_s": self.config.poll_interval,
+            }
+        else:
+            components["ext_timer"] = {
+                "ok": True,
+                "detail": "disabled (infinite EXT timeout)",
+            }
+
+        workers_alive = getattr(self.checker, "workers_alive", None)
+        shards_ok = True if workers_alive is None else workers_alive()
+        components["shards"] = {
+            "ok": shards_ok,
+            "detail": "in-process"
+            if workers_alive is None or self.config.shard_executor == "serial"
+            else ("workers alive" if shards_ok else "a shard worker died"),
+            "n_shards": self.config.n_shards,
+            "executor": self.config.shard_executor,
+        }
+
+        ok = all(component["ok"] for component in components.values())
+        payload = {
+            "status": "ok" if ok else "unhealthy",
+            "checker": self.config.checker_kind,
+            "uptime_s": round(now - self.started_at, 3),
+            "shutting_down": self._shutting_down,
+            "components": components,
+        }
+        return ok, payload
+
+    # ------------------------------------------------------------------
+    # Prometheus exposition
+    # ------------------------------------------------------------------
+
+    def _build_metric_families(self) -> None:
+        """Register every exported family once, so ``/metrics`` presents a
+        stable catalog from the first scrape (absent shards excepted)."""
+        m = self.metrics
+        self._m_uptime = m.gauge("repro_uptime_seconds", "Seconds since the daemon started")
+        self._m_ingested = m.counter(
+            "repro_ingested_txns_total", "Transactions admitted from the wire"
+        )
+        self._m_processed = m.counter(
+            "repro_processed_txns_total", "Transactions checked by the online checker"
+        )
+        self._m_violations = m.counter(
+            "repro_violations_total", "Violations found since startup"
+        )
+        self._m_pushed = m.counter(
+            "repro_pushed_violations_total", "Violation messages pushed to subscribers"
+        )
+        self._m_ingest_errors = m.counter(
+            "repro_ingest_errors_total", "Batches dropped by ingest errors"
+        )
+        self._m_queue_depth = m.gauge(
+            "repro_queue_depth_txns", "Transaction-weighted ingest queue depth"
+        )
+        self._m_queue_high_water = m.gauge(
+            "repro_queue_high_water_txns", "Deepest ingest queue depth ever reached"
+        )
+        self._m_queue_capacity = m.gauge(
+            "repro_queue_capacity_txns", "Configured ingest queue capacity"
+        )
+        self._m_resident = m.gauge(
+            "repro_resident_txns", "Transactions resident in checker memory"
+        )
+        self._m_resident_bytes = m.gauge(
+            "repro_resident_bytes", "Deep-size estimate of checker state (TTL-cached)"
+        )
+        self._m_subscribers = m.gauge("repro_subscribers", "Connected violation subscribers")
+        self._m_connections = m.gauge("repro_connections", "Open wire connections")
+        self._m_wire_frames = m.counter(
+            "repro_wire_frames_total", "Wire messages by codec and direction", ("codec", "direction")
+        )
+        self._m_wire_bytes = m.counter(
+            "repro_wire_bytes_total", "Wire bytes by codec and direction", ("codec", "direction")
+        )
+        self._m_wire_errors = m.counter(
+            "repro_wire_decode_errors_total", "Undecodable wire messages by codec", ("codec",)
+        )
+        self._m_kernel_batches = m.counter(
+            "repro_kernel_batches_total", "Batches routed through the staged kernel"
+        )
+        self._m_kernel_txns = m.counter(
+            "repro_kernel_txns_total", "Transactions decoded by the kernel route pass"
+        )
+        self._m_kernel_ops = m.counter(
+            "repro_kernel_ops_total", "Kernel operations by stage counter", ("stage",)
+        )
+        self._m_kernel_stage_seconds = m.counter(
+            "repro_kernel_stage_seconds_total",
+            "Sampled wall time per kernel stage (see repro_kernel_timed_batches_total)",
+            ("stage",),
+        )
+        self._m_kernel_timed = m.counter(
+            "repro_kernel_timed_batches_total", "Batches whose stage timings were sampled"
+        )
+        self._m_kernel_slow = m.counter(
+            "repro_kernel_slow_batches_total", "Batches exceeding the slow-batch threshold"
+        )
+        self._m_scan_steps = m.counter(
+            "repro_interval_scan_steps_total", "Interval-index entries examined by overlap queries"
+        )
+        self._m_gc_scan_steps = m.counter(
+            "repro_interval_gc_scan_steps_total", "Interval-index entries examined by GC sweeps"
+        )
+        self._m_gc_cycles = m.counter("repro_gc_cycles_total", "Completed GC cycles")
+        self._m_gc_seconds = m.counter("repro_gc_seconds_total", "Wall time spent in GC")
+        self._m_gc_debt = m.gauge(
+            "repro_gc_debt", "Entries staged for the next GC cycle (heap + staging lists)"
+        )
+        self._m_shard_versions = m.gauge(
+            "repro_shard_versions", "Frontier versions held by one shard", ("shard",)
+        )
+        self._m_shard_intervals = m.gauge(
+            "repro_shard_intervals", "Writer intervals held by one shard", ("shard",)
+        )
+        self._m_shard_ext_reads = m.gauge(
+            "repro_shard_ext_reads", "External reads indexed by one shard", ("shard",)
+        )
+        self._m_shard_pending_removals = m.gauge(
+            "repro_shard_pending_removals", "Deferred read removals owed to one shard", ("shard",)
+        )
+        self._m_shard_last_batch = m.gauge(
+            "repro_shard_last_batch_commands",
+            "Flat commands routed to one shard by the most recent batch",
+            ("shard",),
+        )
+
+    def _render_metrics(self, stats: Dict[str, Any]) -> str:
+        """Mirror a ``stats()`` snapshot into the registry and render it."""
+        self._m_uptime.set(stats["uptime_s"])
+        self._m_ingested.set_total(stats["received"])
+        self._m_processed.set_total(stats["processed"])
+        self._m_violations.set_total(stats["violations"])
+        self._m_pushed.set_total(self.pushed_violations)
+        self._m_ingest_errors.set_total(stats["ingest_errors"])
+        self._m_queue_depth.set(stats["queue_depth"])
+        self._m_queue_high_water.set(stats["queue_high_water"])
+        self._m_queue_capacity.set(stats["queue_capacity"])
+        self._m_resident.set(stats["resident_txns"])
+        if stats["estimated_bytes"] is not None:
+            self._m_resident_bytes.set(stats["estimated_bytes"])
+        self._m_subscribers.set(stats["subscribers"])
+        self._m_connections.set(stats["connections"])
+        for codec, counters in stats["wire"].items():
+            self._m_wire_frames.labels(codec, "in").set_total(counters["frames_in"])
+            self._m_wire_frames.labels(codec, "out").set_total(counters["frames_out"])
+            self._m_wire_bytes.labels(codec, "in").set_total(counters["bytes_in"])
+            self._m_wire_bytes.labels(codec, "out").set_total(counters["bytes_out"])
+            self._m_wire_errors.labels(codec).set_total(counters["decode_errors"])
+        kernel = stats.get("kernel")
+        if kernel is not None:
+            self._m_kernel_batches.set_total(kernel["batches"])
+            self._m_kernel_txns.set_total(kernel["txns"])
+            for stage in (
+                "route_ops",
+                "probe_reads",
+                "probe_writes",
+                "verdict_tracks",
+                "verdict_reevals",
+                "verdict_conflicts",
+            ):
+                self._m_kernel_ops.labels(stage).set_total(kernel[stage])
+            for stage in ("route", "probe", "verdict", "batch"):
+                self._m_kernel_stage_seconds.labels(stage).set_total(
+                    kernel[f"{stage}_seconds"]
+                )
+            self._m_kernel_timed.set_total(kernel["timed_batches"])
+            self._m_kernel_slow.set_total(kernel["slow_batches"])
+        self._m_scan_steps.set_total(stats["interval_scan_steps"])
+        self._m_gc_scan_steps.set_total(stats["interval_gc_scan_steps"])
+        self._m_gc_cycles.set_total(stats["gc"]["cycles"])
+        self._m_gc_seconds.set_total(stats["gc"]["seconds"])
+        self._m_gc_debt.set(stats["gc"]["debt"])
+        for row in stats.get("shards") or ():
+            shard = str(row["shard"])
+            self._m_shard_versions.labels(shard).set(row["versions"])
+            self._m_shard_intervals.labels(shard).set(row["intervals"])
+            self._m_shard_ext_reads.labels(shard).set(row["ext_reads"])
+            self._m_shard_pending_removals.labels(shard).set(row["pending_removals"])
+            self._m_shard_last_batch.labels(shard).set(row["last_batch_commands"])
+        return self.metrics.render()
+
+    # ------------------------------------------------------------------
+    # HTTP sidecar handlers
+    # ------------------------------------------------------------------
+
+    async def _http_metrics(self) -> Tuple[int, str, bytes]:
+        stats = await self._run_checker(self.stats, True)
+        body = self._render_metrics(stats).encode("utf-8")
+        return 200, "text/plain; version=0.0.4; charset=utf-8", body
+
+    async def _http_health(self) -> Tuple[int, str, bytes]:
+        ok, payload = self.health()
+        body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        return (200 if ok else 503), "application/json", body
+
+    async def _http_stats(self) -> Tuple[int, str, bytes]:
+        stats = await self._run_checker(self.stats, True)
+        body = (json.dumps(stats, indent=2, default=str) + "\n").encode("utf-8")
+        return 200, "application/json", body
 
 
 class ServiceThread:
@@ -981,6 +1378,11 @@ class ServiceThread:
     def tcp_address(self) -> Tuple[str, int]:
         assert self.service is not None and self.service.tcp_address is not None
         return self.service.tcp_address
+
+    @property
+    def http_address(self) -> Tuple[str, int]:
+        assert self.service is not None and self.service.http_address is not None
+        return self.service.http_address
 
     def stop(self, timeout: float = 30.0) -> Optional[CheckResult]:
         """Gracefully stop the daemon; returns the final result."""

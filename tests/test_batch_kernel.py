@@ -169,7 +169,17 @@ def test_kernel_counters_deterministic(kind):
             "verdict_tracks",
             "verdict_reevals",
             "verdict_conflicts",
+            "timed_batches",
+            "route_seconds",
+            "probe_seconds",
+            "verdict_seconds",
+            "batch_seconds",
+            "slow_batches",
         }
+        # Timing is off by default: no sampled batches, no wall time.
+        assert stats.sample_every == 0
+        assert stats.timed_batches == 0
+        assert stats.batch_seconds == 0.0
     finally:
         checker.close()
 
