@@ -1,0 +1,17 @@
+"""Chaos campaigns: fault-scheduled live checking of a daemon.
+
+See :mod:`repro.chaos.schedule` for the declarative fault schedule and
+:mod:`repro.chaos.campaign` for the runner and its report — or run one
+from the CLI with ``python -m repro chaos --seed N``.
+"""
+
+from repro.chaos.campaign import CampaignReport, CampaignRunner, LabelOutcome
+from repro.chaos.schedule import CampaignSchedule, FaultEvent
+
+__all__ = [
+    "CampaignRunner",
+    "CampaignReport",
+    "CampaignSchedule",
+    "FaultEvent",
+    "LabelOutcome",
+]

@@ -12,7 +12,10 @@ Commands
 ``serve``     — run the online checker as a long-lived daemon speaking
                 the ndjson wire protocol (see :mod:`repro.service`);
 ``replay``    — stream a history file, WAL capture, anomaly fixture, or
-                generated workload into a running daemon.
+                generated workload into a running daemon;
+``chaos``     — run a seeded chaos campaign: live workload + daemon
+                under scheduled faults, asserting every injected fault
+                is detected and no clean window raises an alarm.
 
 Examples
 --------
@@ -28,6 +31,9 @@ Examples
     python -m repro replay --history history.jsonl --port 7401
     python -m repro replay --anomaly dirty-read --port 7401 \\
         --expect violation --shutdown
+    python -m repro chaos --seed 7 --segments 6
+    python -m repro chaos --seed 7 --save-schedule plan.json
+    python -m repro chaos --schedule plan.json --json
 """
 
 from __future__ import annotations
@@ -199,6 +205,44 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="exit 0 only if the final verdict matches")
     replay.add_argument("--max-report", type=int, default=10)
     replay.set_defaults(handler=_cmd_replay)
+
+    chaos = commands.add_parser(
+        "chaos", help="run a fault-scheduled chaos campaign against a live daemon")
+    chaos.add_argument("--seed", type=int, default=2025,
+                       help="campaign seed; everything randomized derives from it")
+    chaos.add_argument("--segments", type=int, default=8,
+                       help="workload rounds in the campaign")
+    chaos.add_argument("--txns-per-segment", type=int, default=40)
+    chaos.add_argument("--sessions", type=int, default=4,
+                       help="concurrent database sessions in the workload")
+    chaos.add_argument("--keys", type=int, default=12)
+    chaos.add_argument("--level", default="si", choices=["si", "ser"])
+    chaos.add_argument("--shards", type=int, default=1,
+                       help="shard the daemon's SI checker across N shards")
+    chaos.add_argument("--kills", type=int, default=2,
+                       help="scheduled connection kills (client must resume)")
+    chaos.add_argument("--restarts", type=int, default=1,
+                       help="scheduled hard daemon restarts")
+    chaos.add_argument("--pauses", type=int, default=1,
+                       help="scheduled slow-network segments")
+    chaos.add_argument("--skew-bursts", type=int, default=1,
+                       help="scheduled clock-skew burst segments")
+    chaos.add_argument("--mutations", type=int, default=3,
+                       help="scheduled history-level fault injections")
+    chaos.add_argument("--pause-ms", type=float, default=25.0,
+                       help="inter-batch sleep during a pause segment")
+    chaos.add_argument("--batch-size", type=int, default=8,
+                       help="transactions per submit frame")
+    chaos.add_argument("--schedule", metavar="FILE", default=None,
+                       help="run a saved schedule file instead of generating "
+                       "one (ignores the fault-count flags)")
+    chaos.add_argument("--save-schedule", metavar="FILE", default=None,
+                       help="write the generated schedule as JSON and exit")
+    chaos.add_argument("--json", action="store_true",
+                       help="print the full report as JSON instead of a summary")
+    chaos.add_argument("--report", metavar="FILE", default=None,
+                       help="also write the JSON report to FILE")
+    chaos.set_defaults(handler=_cmd_chaos)
 
     return parser
 
@@ -389,7 +433,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.db.cdc import iter_wal_file
     from repro.histories.anomalies import ANOMALY_CATALOG
-    from repro.service import CheckerClient, replay_transactions, transactions_in_commit_order
+    from repro.service import (
+        CheckerClient,
+        ServiceError,
+        replay_transactions,
+        transactions_in_commit_order,
+    )
     from repro.workloads.generator import generate_default_history
     from repro.workloads.spec import WorkloadSpec
 
@@ -420,7 +469,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     client = CheckerClient(args.host, args.port, unix_path=args.unix, protocol=preference)
     try:
         client.connect(retry_for=args.connect_timeout)
-    except OSError as exc:
+    except (OSError, ServiceError) as exc:
         print(f"cannot reach the daemon: {exc}", file=sys.stderr)
         return 2
     with client:
@@ -449,6 +498,60 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     if args.expect == "violation":
         return 0 if not result.is_valid else 1
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.chaos import CampaignRunner, CampaignSchedule
+
+    if args.schedule is not None:
+        schedule = CampaignSchedule.from_dict(
+            json.loads(Path(args.schedule).read_text(encoding="utf-8"))
+        )
+    else:
+        try:
+            schedule = CampaignSchedule.generate(
+                args.seed,
+                segments=args.segments,
+                kills=args.kills,
+                restarts=args.restarts,
+                pauses=args.pauses,
+                skew_bursts=args.skew_bursts,
+                mutations=args.mutations,
+            )
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    if args.save_schedule is not None:
+        Path(args.save_schedule).write_text(
+            json.dumps(schedule.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {len(schedule.events)}-event schedule to {args.save_schedule}")
+        return 0
+
+    runner = CampaignRunner(
+        schedule,
+        level=args.level,
+        n_shards=args.shards,
+        n_sessions=args.sessions,
+        n_keys=args.keys,
+        txns_per_segment=args.txns_per_segment,
+        batch_size=args.batch_size,
+        pause_ms=args.pause_ms,
+    )
+    report = runner.run()
+    if args.report is not None:
+        Path(args.report).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:

@@ -24,7 +24,7 @@ from typing import Callable, Iterable, Iterator, List, Tuple, Union
 from repro.histories.model import History, Operation, Transaction
 from repro.histories.serialization import txn_from_dict, txn_to_dict
 
-__all__ = ["CdcRecord", "ChangeLog", "parse_wal", "iter_wal_file"]
+__all__ = ["CdcRecord", "ChangeLog", "WalTailer", "parse_wal", "iter_wal_file"]
 
 
 @dataclass(frozen=True)
@@ -97,6 +97,45 @@ class ChangeLog:
                 handle.write("\n")
                 count += 1
         return count
+
+
+class WalTailer:
+    """Incrementally tail a textual WAL file being appended to.
+
+    The live-feed source for the chaos campaign, shaped like tailing a
+    SQLite WAL (or a shipped log segment): a writer appends ``COMMIT``
+    lines while the tailer :meth:`poll`\\ s for new complete lines from
+    its byte :attr:`offset` onward.  A partially written trailing line
+    is left in the file for the next poll (the offset only ever advances
+    past complete, newline-terminated lines), so writer and tailer need
+    no coordination beyond append-only writes.  A missing file reads as
+    empty — the tailer may be armed before the first commit.
+
+    ``offset`` round-trips: a tailer constructed with a previous
+    tailer's offset resumes exactly where it left off, which is how a
+    restarted feed avoids re-reading (and re-submitting) history.
+    """
+
+    def __init__(self, path: Union[str, Path], *, offset: int = 0) -> None:
+        self.path = Path(path)
+        self.offset = offset
+
+    def poll(self) -> List[Transaction]:
+        """All complete transactions appended since the last poll."""
+        try:
+            with self.path.open("rb") as handle:
+                handle.seek(self.offset)
+                chunk = handle.read()
+        except FileNotFoundError:
+            return []
+        if not chunk:
+            return []
+        complete = chunk.rfind(b"\n") + 1
+        if complete == 0:
+            return []  # only a torn tail so far
+        self.offset += complete
+        lines = chunk[:complete].decode("utf-8").splitlines()
+        return list(_iter_commit_lines(lines))
 
 
 def _iter_commit_lines(lines: Iterable[str]) -> Iterator[Transaction]:

@@ -12,6 +12,10 @@ Two levels of fault are provided:
   history in targeted ways, one axiom per fault, returning ground-truth
   :class:`FaultLabel` records so tests and benchmarks can assert that
   each injected fault class is detected by the matching axiom.
+- **Stream-level**: :class:`LiveFaultInjector` applies the same
+  axiom-targeted mutations to transaction batches *in flight* between a
+  live engine's CDC feed and the checker daemon — the chaos campaign's
+  ground truth (see :mod:`repro.chaos`).
 
 History-level injection first rescales all timestamps by a constant
 factor, opening integer gaps so timestamps can be perturbed without
@@ -28,7 +32,7 @@ from repro.core.violations import Axiom
 from repro.db.oracle import TimestampOracle
 from repro.histories.model import History, INIT_TID, Operation, OpKind, Transaction
 
-__all__ = ["SkewedOracle", "FaultLabel", "HistoryFaultInjector"]
+__all__ = ["SkewedOracle", "FaultLabel", "HistoryFaultInjector", "LiveFaultInjector"]
 
 
 class SkewedOracle:
@@ -60,6 +64,19 @@ class SkewedOracle:
         self._rng = rng if rng is not None else Random(0xC10C)
         self._issued: set[int] = set()
         self.n_skewed = 0
+
+    @property
+    def probability(self) -> float:
+        """Per-timestamp skew probability — writable, so a chaos
+        schedule can switch skew on for a burst window and back off for
+        clean windows on the same oracle."""
+        return self._probability
+
+    @probability.setter
+    def probability(self, value: float) -> None:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {value!r}")
+        self._probability = value
 
     def next_ts(self, node_id: int = 0) -> int:
         ts = self._inner.next_ts(node_id) * self._stride
@@ -245,6 +262,164 @@ class HistoryFaultInjector:
         return applied
 
     # ------------------------------------------------------------------
+
+    def _label(self, axiom: Axiom, tids: Tuple[int, ...], key: str = "") -> FaultLabel:
+        label = FaultLabel(axiom, tids, key)
+        self.labels.append(label)
+        return label
+
+
+class LiveFaultInjector:
+    """Streaming sibling of :class:`HistoryFaultInjector`.
+
+    Mutates transaction *batches in flight* between the engine's CDC
+    feed and the wire, so a chaos campaign can corrupt a live stream the
+    daemon is already checking.  Unlike the offline injector there is no
+    timestamp rescaling pass — the campaign's oracle already strides its
+    timeline (see :class:`SkewedOracle`), leaving the integer gaps the
+    ``noconflict`` and ``ts_order`` mutations need.
+
+    Every successful injection returns a ground-truth
+    :class:`FaultLabel` (also appended to :attr:`labels`); ``None``
+    means the batch offered no eligible target and nothing was touched.
+    Call :meth:`observe` with each batch *after* injection so the
+    cross-batch last-writer map matches what the daemon actually saw.
+    """
+
+    #: Injectable fault classes, in the cycling order of schedules.
+    CLASSES = ("ext", "int", "session", "noconflict", "ts_order")
+
+    def __init__(self, *, seed: int = 0xFA17) -> None:
+        self._rng = Random(seed)
+        self.labels: List[FaultLabel] = []
+        #: key -> (commit_ts, tid) of the latest observed writer.
+        self._last_commit: dict[str, Tuple[int, int]] = {}
+
+    def observe(self, txns: List[Transaction]) -> None:
+        """Fold a (post-injection) batch into the last-writer map."""
+        for txn in txns:
+            for key in txn.write_keys:
+                seen = self._last_commit.get(key)
+                if seen is None or txn.commit_ts > seen[0]:
+                    self._last_commit[key] = (txn.commit_ts, txn.tid)
+
+    def inject(self, kind: str, batch: List[Transaction]) -> Optional[FaultLabel]:
+        """Apply one fault of ``kind`` (see :data:`CLASSES`) to ``batch``."""
+        if kind not in self.CLASSES:
+            raise ValueError(f"unknown live fault class {kind!r}")
+        return getattr(self, f"inject_{kind}")(batch)
+
+    def inject_ext(self, batch: List[Transaction]) -> Optional[FaultLabel]:
+        """Corrupt one external read so no frontier can justify it."""
+        candidates = [
+            i
+            for i, txn in enumerate(batch)
+            if txn.tid != INIT_TID and txn.external_reads
+        ]
+        if not candidates:
+            return None
+        index = self._rng.choice(candidates)
+        txn = batch[index]
+        key = self._rng.choice(sorted(txn.external_reads))
+        new_ops = []
+        corrupted = False
+        for op in txn.ops:
+            if not corrupted and op.kind is OpKind.READ and op.key == key:
+                new_ops.append(Operation(OpKind.READ, key, _poison(op.value)))
+                corrupted = True
+            elif not corrupted and op.kind is OpKind.READ_LIST and op.key == key:
+                new_ops.append(Operation(OpKind.READ_LIST, key, op.value + (_poison(0),)))
+                corrupted = True
+            else:
+                new_ops.append(op)
+        if not corrupted:
+            return None
+        batch[index] = _replace_ops(txn, new_ops)
+        return self._label(Axiom.EXT, (txn.tid,), key)
+
+    def inject_int(self, batch: List[Transaction]) -> Optional[FaultLabel]:
+        """Append an internal read contradicting the txn's own write."""
+        candidates = [
+            i for i, txn in enumerate(batch) if txn.tid != INIT_TID and txn.last_writes
+        ]
+        if not candidates:
+            return None
+        index = self._rng.choice(candidates)
+        txn = batch[index]
+        key = self._rng.choice(sorted(txn.last_writes))
+        final = txn.last_writes[key]
+        bad_read_kind = OpKind.READ_LIST if isinstance(final, tuple) else OpKind.READ
+        bad_value: object = _poison(0) if isinstance(final, tuple) else _poison(final)
+        if bad_read_kind is OpKind.READ_LIST:
+            bad_value = (bad_value,)
+        batch[index] = _replace_ops(txn, list(txn.ops) + [Operation(bad_read_kind, key, bad_value)])
+        return self._label(Axiom.INT, (txn.tid,), key)
+
+    def inject_session(self, batch: List[Transaction]) -> Optional[FaultLabel]:
+        """Swap sequence numbers of two same-session txns in the batch."""
+        by_sid: dict[int, List[int]] = {}
+        for i, txn in enumerate(batch):
+            if txn.tid != INIT_TID:
+                by_sid.setdefault(txn.sid, []).append(i)
+        eligible = [ids for ids in by_sid.values() if len(ids) >= 2]
+        if not eligible:
+            return None
+        ids = self._rng.choice(eligible)
+        pos = self._rng.randrange(len(ids) - 1)
+        i, j = ids[pos], ids[pos + 1]
+        a, b = batch[i], batch[j]
+        batch[i] = _replace_sno(a, b.sno)
+        batch[j] = _replace_sno(b, a.sno)
+        return self._label(Axiom.SESSION, (a.tid, b.tid))
+
+    def inject_noconflict(self, batch: List[Transaction]) -> Optional[FaultLabel]:
+        """Overlap a batch writer with the key's previous writer."""
+        options: List[Tuple[int, str, int, int]] = []
+        for i, txn in enumerate(batch):
+            if txn.tid == INIT_TID:
+                continue
+            for key in txn.write_keys:
+                seen = self._last_commit.get(key)
+                if seen is None:
+                    continue
+                earlier_commit, earlier_tid = seen
+                new_start = earlier_commit - 1
+                if 0 < new_start < txn.commit_ts and earlier_commit < txn.commit_ts:
+                    options.append((i, key, new_start, earlier_tid))
+        if not options:
+            return None
+        index, key, new_start, earlier_tid = self._rng.choice(options)
+        txn = batch[index]
+        batch[index] = Transaction(
+            tid=txn.tid,
+            sid=txn.sid,
+            sno=txn.sno,
+            ops=txn.ops,
+            start_ts=new_start,
+            commit_ts=txn.commit_ts,
+        )
+        return self._label(Axiom.NOCONFLICT, (earlier_tid, txn.tid), key)
+
+    def inject_ts_order(self, batch: List[Transaction]) -> Optional[FaultLabel]:
+        """Swap one writer's start and commit timestamps (Eq. 1)."""
+        candidates = [
+            i
+            for i, txn in enumerate(batch)
+            if txn.tid != INIT_TID and txn.start_ts < txn.commit_ts
+        ]
+        if not candidates:
+            return None
+        index = self._rng.choice(candidates)
+        txn = batch[index]
+        batch[index] = Transaction(
+            tid=txn.tid,
+            sid=txn.sid,
+            sno=txn.sno,
+            ops=txn.ops,
+            start_ts=txn.commit_ts,
+            commit_ts=txn.start_ts,
+        )
+        return self._label(Axiom.TS_ORDER, (txn.tid,))
 
     def _label(self, axiom: Axiom, tids: Tuple[int, ...], key: str = "") -> FaultLabel:
         label = FaultLabel(axiom, tids, key)

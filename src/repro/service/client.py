@@ -23,15 +23,25 @@ which stashes pushes in :attr:`pushed` until :meth:`take_violations` /
 One client instance belongs to one thread; concurrent producers open
 one client each (connections are cheap, and per-connection ordering is
 what carries session order over the wire).
+
+With ``auto_resume=True`` the client opens a daemon-side resume session
+during the v2 handshake and survives connection cuts transparently:
+operations that hit a dead socket reconnect with capped exponential
+backoff + jitter, present the session token, and re-submit only batches
+the daemon's acked-seq watermark has not covered — exactly-once ingest
+even when the cut swallowed an ack (see :mod:`repro.service.protocol`,
+*Sessions and resume*).
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import time
+from collections import OrderedDict
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple, TypeVar, Union
 
 from repro.core.violations import CheckResult, Violation
 from repro.histories.model import Transaction
@@ -43,6 +53,7 @@ from repro.service.framing import (
     K_HELLO,
     decode_frame_header,
     decode_frame_payload,
+    encode_hello_frame,
     encode_json_frame,
     encode_submit_frame,
 )
@@ -89,8 +100,19 @@ def http_get_json(
     return status, json.loads(body)
 
 
+_T = TypeVar("_T")
+
+
 class ServiceError(RuntimeError):
-    """The daemon rejected a request (an ``error`` reply)."""
+    """The daemon rejected a request (an ``error`` reply) — or, for
+    connection retries, the retry budget ran out.  In the latter case
+    :attr:`attempts` carries how many connection attempts were made;
+    otherwise it is ``None``.
+    """
+
+    def __init__(self, message: str, *, attempts: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.attempts = attempts
 
 
 class CheckerClient:
@@ -108,7 +130,27 @@ class CheckerClient:
         ``None`` (default) negotiates the highest protocol the daemon
         advertises; ``1`` pins ndjson; ``2`` requires the binary frame
         codec and raises :class:`ServiceError` when unavailable.
+    auto_resume:
+        Opt into idempotent reconnect/resume (requires v2).  The hello
+        opens a daemon-side session; on a connection cut mid-operation
+        the client transparently reconnects (capped exponential backoff
+        with jitter, up to ``max_resume_attempts`` cuts per operation),
+        presents its session token, and re-submits only batches the
+        daemon has not acked — exactly-once ingest even when the cut
+        swallowed an ack (the daemon dedups by ``(session, seq)``).
+    reconnect_timeout:
+        Seconds each transparent reconnect keeps retrying a refused
+        connection (the ``retry_for`` of the internal ``connect``) —
+        the window a restarting daemon has to come back.
+    max_resume_attempts:
+        Connection cuts tolerated within one logical operation before
+        the underlying ``OSError`` propagates.
     """
+
+    #: Backoff schedule for connection retries: capped exponential with
+    #: full jitter (each sleep is uniform in [delay/2, delay]).
+    _BACKOFF_BASE = 0.02
+    _BACKOFF_CAP = 1.0
 
     def __init__(
         self,
@@ -118,14 +160,22 @@ class CheckerClient:
         unix_path: Optional[Union[str, Path]] = None,
         timeout: float = 30.0,
         protocol: Optional[int] = None,
+        auto_resume: bool = False,
+        reconnect_timeout: float = 10.0,
+        max_resume_attempts: int = 8,
     ) -> None:
         if protocol not in (None, 1, 2):
             raise ValueError(f"protocol must be None, 1, or 2, got {protocol!r}")
+        if auto_resume and protocol == 1:
+            raise ValueError("auto_resume requires protocol v2")
         self.host = host
         self.port = port
         self.unix_path = str(unix_path) if unix_path is not None else None
         self.timeout = timeout
         self.protocol_preference = protocol
+        self.auto_resume = auto_resume
+        self.reconnect_timeout = reconnect_timeout
+        self.max_resume_attempts = max_resume_attempts
         #: Protocol this connection actually speaks (set by connect()).
         self.protocol = 1
         self._sock: Optional[socket.socket] = None
@@ -137,6 +187,27 @@ class CheckerClient:
         self.pushed: List[Violation] = []
         #: Final result captured when the daemon says goodbye mid-read.
         self.final_result: Optional[CheckResult] = None
+        #: Resume session token adopted from the daemon's welcome (None
+        #: until the first auto_resume connect).
+        self.session_token: Optional[str] = None
+        #: Whether the last connect resumed an existing daemon session.
+        self.session_resumed = False
+        #: Submit batches sent but not yet acked, by sequence number, in
+        #: send order — the bounded replay backlog (with acks on, at
+        #: most one entry).
+        self._unacked: "OrderedDict[int, List[Transaction]]" = OrderedDict()
+        #: Highest submit seq the daemon has acked on this session.
+        self._acked_seq = 0
+        #: Counters for reports and tests.
+        self.reconnects = 0
+        self.connect_attempts = 0
+        self.replayed_batches = 0
+        self.recovered_acks = 0
+        #: Chaos hook: application frame numbers after which the socket
+        #: is severed right after the send (see :meth:`_sendall`).
+        self.chaos_kill_frames: Set[int] = set()
+        self.frames_sent = 0
+        self._rng = random.Random()
 
     # ------------------------------------------------------------------
     # Connection management
@@ -147,17 +218,38 @@ class CheckerClient:
 
         ``retry_for`` keeps retrying a refused connection for that many
         seconds — the normal way to follow a daemon you just booted.
+        Retries back off exponentially (capped, with jitter) rather than
+        hammering at a fixed interval.  When the budget runs out after
+        more than one attempt, the failure is raised as
+        :class:`ServiceError` carrying ``.attempts``; a plain no-retry
+        call (``retry_for=0``) raises the original ``OSError``
+        unchanged.
         """
         deadline = time.monotonic() + retry_for
+        delay = self._BACKOFF_BASE
+        attempts = 0
         while True:
+            attempts += 1
             try:
                 self._open_socket()
                 break
-            except OSError:
+            except OSError as exc:
                 self._teardown()
-                if time.monotonic() >= deadline:
-                    raise
-                time.sleep(0.05)
+                now = time.monotonic()
+                if now >= deadline:
+                    self.connect_attempts = attempts
+                    if attempts == 1:
+                        raise
+                    raise ServiceError(
+                        f"connect to {self._endpoint()} failed after "
+                        f"{attempts} attempts over {retry_for:.1f}s: {exc}",
+                        attempts=attempts,
+                    ) from exc
+                time.sleep(
+                    min(self._rng.uniform(delay / 2, delay), max(deadline - now, 0.0))
+                )
+                delay = min(delay * 2, self._BACKOFF_CAP)
+        self.connect_attempts = attempts
         welcome = self._read_message()
         if welcome.get("type") != "welcome":
             raise ProtocolError(f"expected welcome, got {welcome.get('type')!r}")
@@ -167,13 +259,24 @@ class CheckerClient:
         want = self.protocol_preference
         if want == 2 and 2 not in advertised:
             raise ServiceError(f"daemon offers protocols {advertised}, not v2")
+        if self.auto_resume and 2 not in advertised:
+            raise ServiceError(
+                f"auto_resume requires protocol v2; daemon offers {advertised}"
+            )
         if (want is None or want == 2) and 2 in advertised:
             # Upgrade: a v2 hello *frame* flips the daemon's send side;
-            # its framed welcome confirms the switch.
+            # its framed welcome confirms the switch.  With auto_resume
+            # the hello also opens (or resumes) a daemon-side session.
             assert self._sock is not None
             self._sock.sendall(
-                encode_json_frame(
-                    K_HELLO, {"type": "hello", "client": "repro-client", "protocol": 2}
+                encode_hello_frame(
+                    session=self.auto_resume,
+                    session_token=self.session_token if self.auto_resume else None,
+                    resume_from=(
+                        self._acked_seq
+                        if self.auto_resume and self.session_token is not None
+                        else None
+                    ),
                 )
             )
             confirm = self._read_message()
@@ -183,7 +286,48 @@ class CheckerClient:
                 )
             self.protocol = 2
             self.welcome = confirm
+            if self.auto_resume:
+                self._adopt_session(confirm.get("session"))
         return self.welcome
+
+    def _endpoint(self) -> str:
+        if self.unix_path is not None:
+            return self.unix_path
+        return f"{self.host}:{self.port}"
+
+    def _adopt_session(self, session: Any) -> None:
+        """Bind to the session in a v2 welcome, then settle the backlog.
+
+        Batches at or below the daemon's acked-seq watermark were
+        admitted before the cut (only the ack was lost) and are dropped
+        from the backlog; the rest are re-submitted with their original
+        sequence numbers, so a daemon that *did* see them dedups.
+        """
+        if not isinstance(session, dict) or not session.get("token"):
+            raise ServiceError("daemon did not grant a resume session")
+        self.session_token = session["token"]
+        self.session_resumed = bool(session.get("resumed"))
+        daemon_acked = int(session.get("acked_seq", 0))
+        self._acked_seq = max(self._acked_seq, daemon_acked)
+        for seq in [s for s in self._unacked if s <= daemon_acked]:
+            del self._unacked[seq]
+            self.recovered_acks += 1
+        for seq, txns in list(self._unacked.items()):
+            assert self._sock is not None
+            self._sock.sendall(encode_submit_frame(txns, seq))
+            reply = self._await_reply("ack", seq)
+            if reply.get("enqueued") != len(txns):
+                raise ServiceError(
+                    f"resume replay of seq {seq}: daemon enqueued "
+                    f"{reply.get('enqueued')} of {len(txns)} transactions"
+                )
+            del self._unacked[seq]
+            self._acked_seq = max(self._acked_seq, seq)
+            self.replayed_batches += 1
+        if self.subscribed:
+            # Replays were already absorbed (or lost with the daemon);
+            # re-arm the push stream without duplicating history.
+            self._request({"type": "subscribe", "replay": False}, expect="subscribed")
 
     def _open_socket(self) -> None:
         if self.unix_path is not None:
@@ -198,6 +342,50 @@ class CheckerClient:
 
     def close(self) -> None:
         self._teardown()
+
+    def kill(self) -> None:
+        """Chaos hook: sever the connection *without* clearing resume
+        state — the next operation on an ``auto_resume`` client trips
+        over the dead socket and reconnects transparently."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def _reconnect(self) -> None:
+        self.reconnects += 1
+        self._teardown()
+        self.connect(retry_for=self.reconnect_timeout)
+
+    def _with_resume(self, op: Callable[[], _T]) -> _T:
+        """Run one wire operation, transparently reconnecting on cuts.
+
+        Without ``auto_resume`` this is a plain call.  With it, any
+        ``OSError`` (reset, broken pipe, closed socket, recv timeout)
+        triggers reconnect + session resume and one retry of the
+        operation, up to ``max_resume_attempts`` cuts.  Daemon-level
+        rejections (:class:`ServiceError`, :class:`ProtocolError`)
+        never retry — resubmitting a rejected request is not resumption.
+        """
+        if not self.auto_resume:
+            return op()
+        cuts = 0
+        reconnect = self._sock is None
+        while True:
+            try:
+                if reconnect:
+                    self._reconnect()
+                    reconnect = False
+                return op()
+            except socket.timeout:
+                # A deadline expiring is an answer, not a cut.
+                raise
+            except OSError:
+                cuts += 1
+                if cuts > self.max_resume_attempts:
+                    raise
+                reconnect = True
 
     def _teardown(self) -> None:
         self._buffer = b""
@@ -237,19 +425,26 @@ class CheckerClient:
         per transaction.
         """
         if self.protocol == 2:
-            assert self._sock is not None, "not connected"
             if ack:
                 self._seq += 1
                 seq = self._seq
             else:
                 seq = 0  # seq 0 asks for no ack at the framing layer
-            self._sock.sendall(encode_submit_frame(txns, seq))
-            if ack:
-                reply = self._await_reply("ack", seq)
-                if reply.get("enqueued") != len(txns):
-                    raise ServiceError(
-                        f"daemon enqueued {reply.get('enqueued')} of {len(txns)} transactions"
-                    )
+            if ack and self.auto_resume:
+                # Track the batch before the send: if the cut lands
+                # between send and ack, resume must know what to replay.
+                self._unacked[seq] = list(txns)
+
+                def op() -> None:
+                    if seq <= self._acked_seq and seq not in self._unacked:
+                        return  # settled by the resume replay already
+                    self._submit_v2(txns, seq)
+
+                self._with_resume(op)
+                self._unacked.pop(seq, None)
+                self._acked_seq = max(self._acked_seq, seq)
+            else:
+                self._submit_v2(txns, seq)
             return
         message: Dict[str, Any] = {"type": "submit", "txns": [txn_to_dict(t) for t in txns]}
         if ack:
@@ -261,13 +456,24 @@ class CheckerClient:
         else:
             self._send(message)
 
+    def _submit_v2(self, txns: List[Transaction], seq: int) -> None:
+        self._sendall(encode_submit_frame(txns, seq))
+        if seq:
+            reply = self._await_reply("ack", seq)
+            if reply.get("enqueued") != len(txns):
+                raise ServiceError(
+                    f"daemon enqueued {reply.get('enqueued')} of {len(txns)} transactions"
+                )
+
     def subscribe(self, *, replay: bool = False) -> None:
         """Start receiving live violation pushes on this connection."""
-        self._request({"type": "subscribe", "replay": replay}, expect="subscribed")
+        self._with_resume(
+            lambda: self._request({"type": "subscribe", "replay": replay}, expect="subscribed")
+        )
         self.subscribed = True
 
     def ping(self) -> None:
-        self._request({"type": "ping"}, expect="pong")
+        self._with_resume(lambda: self._request({"type": "ping"}, expect="pong"))
 
     def stats(self, *, include_bytes: bool = True) -> Dict[str, Any]:
         """Fetch the daemon's resident/throughput/GC counters.
@@ -276,7 +482,9 @@ class CheckerClient:
         ``estimated_bytes`` deep-sizeof walk — the cheap mode for
         polling a daemon with a large resident set.
         """
-        return self._request({"type": "stats", "bytes": include_bytes}, expect="stats")["stats"]
+        return self._with_resume(
+            lambda: self._request({"type": "stats", "bytes": include_bytes}, expect="stats")
+        )["stats"]
 
     def drain(self, *, wait_timeout: Optional[float] = None) -> int:
         """Block until everything submitted so far is checked.
@@ -285,17 +493,24 @@ class CheckerClient:
         up — unbounded by default rather than capped at the socket
         timeout; pass ``wait_timeout`` to bound the wait.
         """
-        with self._deadline(wait_timeout):
-            return self._request({"type": "drain"}, expect="drained")["processed"]
+
+        def op() -> int:
+            with self._deadline(wait_timeout):
+                return self._request({"type": "drain"}, expect="drained")["processed"]
+
+        return self._with_resume(op)
 
     def finalize(self, *, wait_timeout: Optional[float] = None) -> CheckResult:
         """Drain, force-finalize pending EXT verdicts, return the result.
 
         Waits for the daemon to catch up (see :meth:`drain`).
         """
-        with self._deadline(wait_timeout):
-            reply = self._request({"type": "finalize"}, expect="result")
-        return result_from_dict(reply)
+
+        def op() -> Dict[str, Any]:
+            with self._deadline(wait_timeout):
+                return self._request({"type": "finalize"}, expect="result")
+
+        return result_from_dict(self._with_resume(op))
 
     def shutdown(self, *, wait_timeout: Optional[float] = None) -> CheckResult:
         """Ask the daemon to drain, finalize, and exit; returns the result.
@@ -374,7 +589,26 @@ class CheckerClient:
             data = encode_json_frame(kind, message)
         else:
             data = encode_message(message)
+        self._sendall(data)
+
+    def _sendall(self, data: bytes) -> None:
+        """Send one application frame, honoring the chaos kill hook.
+
+        ``chaos_kill_frames`` severs the socket *right after* the
+        matching frame left — the daemon may have processed (even acked)
+        it while the client never reads the reply, which is exactly the
+        ambiguity the resume watermark resolves.  Handshake traffic in
+        ``connect`` bypasses this counter so a reconnect always makes
+        progress.
+        """
+        assert self._sock is not None, "not connected"
         self._sock.sendall(data)
+        self.frames_sent += 1
+        if self.frames_sent in self.chaos_kill_frames:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
 
     def _request(self, message: Dict[str, Any], *, expect: str) -> Dict[str, Any]:
         self._seq += 1

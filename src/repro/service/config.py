@@ -88,6 +88,15 @@ class ServiceConfig:
     #: ``receive_many`` call is traced as a slow batch (structured record
     #: to stderr + ring buffer); ``None`` disables the trace.
     slow_batch_ms: Optional[float] = None
+    #: Sliding window (seconds) over which session resumes are counted
+    #: for the ``resume_storm`` health component.
+    resume_storm_window: float = 10.0
+    #: Session resumes inside one window at which ``/health`` flips the
+    #: ``resume_storm`` component unhealthy — reconnect churn at this
+    #: rate means clients are flapping (a dying daemon peer, a broken
+    #: network path, or a retry loop without backoff), and verdict
+    #: latency guarantees no longer hold.
+    resume_storm_threshold: int = 30
 
     def validate(self) -> None:
         if self.port is None and self.unix_path is None:
@@ -116,6 +125,10 @@ class ServiceConfig:
             raise ValueError("kernel_sample_every must be >= 0")
         if self.slow_batch_ms is not None and self.slow_batch_ms <= 0:
             raise ValueError("slow_batch_ms must be positive when set")
+        if self.resume_storm_window <= 0:
+            raise ValueError("resume_storm_window must be positive")
+        if self.resume_storm_threshold < 1:
+            raise ValueError("resume_storm_threshold must be >= 1")
         if self.gc_keep_recent is not None:
             if self.gc_keep_recent < 0:
                 raise ValueError("gc_keep_recent must be >= 0")

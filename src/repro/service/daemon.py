@@ -52,7 +52,7 @@ import math
 import sys
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.core.violations import CheckResult
@@ -73,11 +73,14 @@ from repro.service.framing import (
     encode_json_frame,
 )
 from repro.service.protocol import (
+    MAX_TRACKED_SESSIONS,
     PROTOCOL_VERSION,
     ProtocolError,
     decode_line,
     encode_message,
+    new_session_token,
     result_to_dict,
+    validate_session_token,
     violation_to_dict,
 )
 
@@ -97,6 +100,26 @@ _MAX_SUBSCRIBER_BUFFER = 8 * 1024 * 1024
 #: ``replay``).  Bounds daemon memory on a violation-heavy stream; a
 #: replay delivers the most recent window, live pushes are never lost.
 _MAX_REPLAY_BACKLOG = 10_000
+
+
+class _WireSession:
+    """Per-session resume state: the daemon side of exactly-once ingest.
+
+    One session outlives its connections: a client that reconnects with
+    the session's token resumes against the same watermark.
+    ``acked_seq`` is the highest submit ``seq`` admitted *in full* —
+    client submit sequence numbers are strictly increasing within a
+    session, so any resubmission at or below the watermark has already
+    been ingested and is acked again without touching the queue.
+    """
+
+    __slots__ = ("token", "acked_seq", "deduped_txns", "resumes")
+
+    def __init__(self, token: str) -> None:
+        self.token = token
+        self.acked_seq = 0
+        self.deduped_txns = 0
+        self.resumes = 0
 
 
 class _IngestQueue:
@@ -251,6 +274,20 @@ class CheckerService:
         #: Only the send side consults this — the reader sniffs each
         #: incoming message's codec from its first byte.
         self._conn_proto: Dict[asyncio.StreamWriter, int] = {}
+        #: Resume sessions by token, least-recently-touched first.
+        #: Bounded at MAX_TRACKED_SESSIONS (LRU eviction) so token churn
+        #: cannot grow daemon memory.  Event-loop thread only.
+        self._sessions: "OrderedDict[str, _WireSession]" = OrderedDict()
+        #: Connection → resume session, for connections whose hello
+        #: opened or resumed one.
+        self._conn_session: Dict[asyncio.StreamWriter, _WireSession] = {}
+        #: Monotonic stamps of recent session resumes — the sliding
+        #: window behind the ``resume_storm`` health component.
+        self._resume_stamps: Deque[float] = deque(maxlen=4096)
+        self.sessions_issued = 0
+        self.session_resumes = 0
+        self.resume_deduped_txns = 0
+        self.resume_rejected = 0
         #: Per-codec wire counters, exported as ``stats()["wire"]``.
         #: Touched only from the event-loop thread (reads from stats()
         #: may tear across keys, which is fine for monotonic counters).
@@ -361,6 +398,45 @@ class CheckerService:
         self._shutting_down = True
         self._shutdown_done = asyncio.get_running_loop().create_task(self._shutdown_impl())
         return await asyncio.shield(self._shutdown_done)
+
+    async def abort(self) -> None:
+        """Ungraceful stop — the chaos harness's stand-in for a crash.
+
+        Closes listeners and connections and cancels the drain/tick
+        tasks without draining, finalizing, or saying goodbye: clients
+        see a dead socket, exactly as after a SIGKILL.  Queued-but-
+        unchecked transactions are dropped, and the in-memory session
+        table dies with the process image — resuming clients get fresh
+        sessions from this daemon's successor, which is why a restart
+        supervisor must re-feed the acked prefix (see
+        :mod:`repro.chaos.campaign`).
+        """
+        self._shutting_down = True
+        try:
+            for server in self._servers:
+                server.close()
+            if self._http is not None:
+                self._http.close()
+            for task in (self._drain_task, self._tick_task):
+                if task is not None:
+                    task.cancel()
+                    try:
+                        await task
+                    except asyncio.CancelledError:
+                        pass
+            for writer in list(self._connections):
+                self._close_writer(writer)
+            # Clients must see a crash, but the host process should not
+            # leak shard workers: release checker resources after the
+            # sockets are already dead.
+            close = getattr(self.checker, "close", None)
+            if close is not None:
+                try:
+                    await self._run_checker(self._locked, close)
+                except Exception:  # pragma: no cover - best-effort cleanup
+                    pass
+        finally:
+            self._stopped.set()
 
     async def _shutdown_impl(self) -> CheckResult:
         # However shutdown ends — cleanly or with a raising finalize /
@@ -704,10 +780,7 @@ class CheckerService:
                         self._send(writer, {"type": "error", "message": str(exc)})
                         continue
                     if frame_kind == K_HELLO:
-                        # v2 handshake: flip this connection's send side
-                        # to frames, confirm with a framed welcome.
-                        self._conn_proto[writer] = 2
-                        self._send(writer, self._welcome_message(2))
+                        self._handle_hello(message, writer)
                         continue
                 else:
                     try:
@@ -736,7 +809,78 @@ class CheckerService:
             self._subscribers.discard(writer)
             self._connections.discard(writer)
             self._conn_proto.pop(writer, None)
+            # The session itself survives in _sessions: that is what a
+            # reconnecting client resumes against.
+            self._conn_session.pop(writer, None)
             self._close_writer(writer)
+
+    def _handle_hello(self, message: Dict[str, Any], writer: asyncio.StreamWriter) -> None:
+        """v2 handshake: flip this connection's send side to frames and
+        confirm with a framed welcome — carrying session/resume state
+        when the hello asked for it."""
+        self._conn_proto[writer] = 2
+        welcome = self._welcome_message(2)
+        if "session_token" in message or "resume_from" in message:
+            try:
+                session, resumed = self._resolve_session(message)
+            except ProtocolError as exc:
+                # The framing survived, so the connection does too — the
+                # offending hello is rejected without a session, and the
+                # client must reconnect or re-hello to get one.
+                self.resume_rejected += 1
+                self._send(writer, {"type": "error", "message": str(exc)})
+                return
+            self._conn_session[writer] = session
+            welcome = dict(
+                welcome,
+                session={
+                    "token": session.token,
+                    "acked_seq": session.acked_seq,
+                    "resumed": resumed,
+                },
+            )
+        self._send(writer, welcome)
+
+    def _resolve_session(self, message: Dict[str, Any]) -> Tuple[_WireSession, bool]:
+        """Look up or mint the resume session a hello asks for.
+
+        Raises :class:`ProtocolError` for a malformed token, a malformed
+        ``resume_from``, or a resume watermark ahead of the daemon's own
+        (the client claims acks this daemon never sent — honouring it
+        could double-ingest).  An unknown *well-formed* token opens a
+        fresh session under a newly minted token: the daemon that issued
+        the old token is gone (restart), and adopting a client-supplied
+        token would let one producer squat another's session.
+        """
+        token = message.get("session_token")
+        resume_from = message.get("resume_from")
+        if resume_from is not None and (
+            isinstance(resume_from, bool)
+            or not isinstance(resume_from, int)
+            or resume_from < 0
+        ):
+            raise ProtocolError(f"malformed resume_from {resume_from!r}")
+        session: Optional[_WireSession] = None
+        if token is not None:
+            validate_session_token(token)
+            session = self._sessions.get(token)
+        if session is not None:
+            if resume_from is not None and resume_from > session.acked_seq:
+                raise ProtocolError(
+                    f"resume_from {resume_from} is ahead of the daemon's "
+                    f"acked watermark {session.acked_seq}"
+                )
+            self._sessions.move_to_end(token)
+            session.resumes += 1
+            self.session_resumes += 1
+            self._resume_stamps.append(time.monotonic())
+            return session, True
+        session = _WireSession(new_session_token())
+        self._sessions[session.token] = session
+        self.sessions_issued += 1
+        while len(self._sessions) > MAX_TRACKED_SESSIONS:
+            self._sessions.popitem(last=False)
+        return session, False
 
     async def _dispatch(self, message: Dict[str, Any], writer: asyncio.StreamWriter) -> bool:
         """Handle one request; returns False to close the connection."""
@@ -786,6 +930,36 @@ class CheckerService:
         self._send(writer, {"type": "error", "seq": seq, "message": f"unknown message type {kind!r}"})
         return True
 
+    def _dedup_submit(
+        self,
+        seq: Optional[int],
+        n_txns: int,
+        writer: asyncio.StreamWriter,
+    ) -> bool:
+        """True when this submit was already admitted for the session.
+
+        A resubmitted ``seq`` at or below the session watermark was
+        ingested on a previous connection (only its ack was lost); it is
+        acked again — flagged ``duplicate`` — without touching the
+        queue, which is what makes reconnect-and-replay exactly-once.
+        """
+        session = self._conn_session.get(writer)
+        if session is None or seq is None or seq > session.acked_seq:
+            return False
+        session.deduped_txns += n_txns
+        self.resume_deduped_txns += n_txns
+        self._send(
+            writer,
+            {"type": "ack", "seq": seq, "enqueued": n_txns, "duplicate": True},
+        )
+        return True
+
+    def _advance_watermark(self, seq: Optional[int], writer: asyncio.StreamWriter) -> None:
+        """Record a fully admitted submit in the session watermark."""
+        session = self._conn_session.get(writer)
+        if session is not None and seq is not None and seq > session.acked_seq:
+            session.acked_seq = seq
+
     async def _handle_submit(self, message: Dict[str, Any], writer: asyncio.StreamWriter) -> bool:
         seq = message.get("seq")
         # Latency stamp taken once at decode: the histogram then measures
@@ -805,6 +979,8 @@ class CheckerService:
                     writer,
                     {"type": "error", "seq": seq, "message": "submit carries no transactions"},
                 )
+                return True
+            if self._dedup_submit(seq, len(batch), writer):
                 return True
             assert self._queue is not None
             total = len(batch)
@@ -829,6 +1005,7 @@ class CheckerService:
                         },
                     )
             elif seq is not None:
+                self._advance_watermark(seq, writer)
                 self._send(writer, {"type": "ack", "seq": seq, "enqueued": admitted})
             return True
         raw = message.get("txns")
@@ -848,6 +1025,8 @@ class CheckerService:
                 writer,
                 {"type": "error", "seq": seq, "message": f"malformed transaction: {exc!r}"},
             )
+            return True
+        if self._dedup_submit(seq, len(txns), writer):
             return True
         assert self._queue is not None
         admitted = 0
@@ -874,6 +1053,7 @@ class CheckerService:
                     },
                 )
         elif seq is not None:
+            self._advance_watermark(seq, writer)
             self._send(writer, {"type": "ack", "seq": seq, "enqueued": admitted})
         return True
 
@@ -973,6 +1153,22 @@ class CheckerService:
             self._bytes_cache = (value, time.monotonic())
         return value
 
+    def _recent_resumes(self, now: float) -> int:
+        """Session resumes inside the sliding resume-storm window.
+
+        The stamp deque is appended on the event loop but read here from
+        worker threads too (``stats()``); copy before filtering so a
+        concurrent append cannot fault the iteration.
+        """
+        while True:
+            try:
+                stamps = list(self._resume_stamps)
+                break
+            except RuntimeError:  # pragma: no cover - appended mid-copy
+                continue
+        cutoff = now - self.config.resume_storm_window
+        return sum(1 for stamp in stamps if stamp >= cutoff)
+
     def stats(self, include_bytes: bool = True) -> Dict[str, Any]:
         """Counters for the ``STATS`` request (and the CLI's summary).
 
@@ -1026,6 +1222,15 @@ class CheckerService:
             "violations": violations,
             "subscribers": len(self._subscribers),
             "connections": len(self._connections),
+            "sessions": {
+                "tracked": len(self._sessions),
+                "attached": len(self._conn_session),
+                "issued": self.sessions_issued,
+                "resumes": self.session_resumes,
+                "recent_resumes": self._recent_resumes(time.monotonic()),
+                "deduped_txns": self.resume_deduped_txns,
+                "rejected": self.resume_rejected,
+            },
             "estimated_bytes": estimated_bytes,
             "ingest_errors": self.ingest_errors,
             "last_ingest_error": self.last_ingest_error,
@@ -1063,6 +1268,10 @@ class CheckerService:
         - ``ext_timer`` — with a finite EXT timeout, the idle poll task
           is alive and has polled recently; on an infinite timeout the
           component is reported as disabled and always healthy.
+        - ``resume_storm`` — session resumes inside the sliding
+          ``resume_storm_window`` stay below the configured threshold.
+          A storm means clients are flapping (reconnect churn), so
+          verdict-latency expectations no longer hold.
         - ``shards`` — process-mode shard workers are all alive
           (serial executors are trivially healthy).
         """
@@ -1124,6 +1333,20 @@ class CheckerService:
                 "ok": True,
                 "detail": "disabled (infinite EXT timeout)",
             }
+
+        recent_resumes = self._recent_resumes(now)
+        storm = recent_resumes >= self.config.resume_storm_threshold
+        components["resume_storm"] = {
+            "ok": not storm,
+            "detail": (
+                f"{recent_resumes} session resumes in the last "
+                f"{self.config.resume_storm_window:g}s"
+                + (" — clients are flapping" if storm else "")
+            ),
+            "recent_resumes": recent_resumes,
+            "window_s": self.config.resume_storm_window,
+            "threshold": self.config.resume_storm_threshold,
+        }
 
         workers_alive = getattr(self.checker, "workers_alive", None)
         shards_ok = True if workers_alive is None else workers_alive()
@@ -1187,6 +1410,28 @@ class CheckerService:
         )
         self._m_subscribers = m.gauge("repro_subscribers", "Connected violation subscribers")
         self._m_connections = m.gauge("repro_connections", "Open wire connections")
+        self._m_sessions_tracked = m.gauge(
+            "repro_sessions_tracked", "Resume sessions held in the daemon's LRU table"
+        )
+        self._m_sessions_issued = m.counter(
+            "repro_sessions_issued_total", "Session tokens minted for hello handshakes"
+        )
+        self._m_session_resumes = m.counter(
+            "repro_session_resumes_total",
+            "Reconnects that resumed a known session token",
+        )
+        self._m_resume_deduped = m.counter(
+            "repro_resume_deduped_txns_total",
+            "Transactions skipped by (session, seq) dedup during resume replay",
+        )
+        self._m_resume_rejected = m.counter(
+            "repro_resume_rejected_total",
+            "Resume attempts rejected (malformed token or stale watermark)",
+        )
+        self._m_resume_recent = m.gauge(
+            "repro_resume_recent",
+            "Session resumes inside the resume-storm health window",
+        )
         self._m_wire_frames = m.counter(
             "repro_wire_frames_total", "Wire messages by codec and direction", ("codec", "direction")
         )
@@ -1261,6 +1506,13 @@ class CheckerService:
             self._m_resident_bytes.set(stats["estimated_bytes"])
         self._m_subscribers.set(stats["subscribers"])
         self._m_connections.set(stats["connections"])
+        sessions = stats["sessions"]
+        self._m_sessions_tracked.set(sessions["tracked"])
+        self._m_sessions_issued.set_total(sessions["issued"])
+        self._m_session_resumes.set_total(sessions["resumes"])
+        self._m_resume_deduped.set_total(sessions["deduped_txns"])
+        self._m_resume_rejected.set_total(sessions["rejected"])
+        self._m_resume_recent.set(sessions["recent_resumes"])
         for codec, counters in stats["wire"].items():
             self._m_wire_frames.labels(codec, "in").set_total(counters["frames_in"])
             self._m_wire_frames.labels(codec, "out").set_total(counters["frames_out"])
@@ -1397,6 +1649,24 @@ class ServiceThread:
                 pass
         self._thread.join(timeout)
         return self.service.final_result
+
+    def kill(self, timeout: float = 10.0) -> None:
+        """Hard-stop the daemon — no drain, no finalize, no goodbyes.
+
+        The chaos harness's stand-in for ``kill -9``: clients observe a
+        dead socket mid-conversation and all daemon-side state (queued
+        transactions, checker memory, session table) is lost.
+        """
+        if self._thread is None or self.service is None:
+            return
+        if self._thread.is_alive() and self._loop is not None:
+            try:
+                future = asyncio.run_coroutine_threadsafe(self.service.abort(), self._loop)
+                future.result(timeout)
+            except RuntimeError:
+                # The loop already exited (a client shut the daemon down).
+                pass
+        self._thread.join(timeout)
 
     def __enter__(self) -> "ServiceThread":
         return self.start()

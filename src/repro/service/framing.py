@@ -53,6 +53,7 @@ __all__ = [
     "K_VIOLATION",
     "K_WELCOME",
     "encode_json_frame",
+    "encode_hello_frame",
     "encode_submit_frame",
     "decode_frame_header",
     "decode_frame_payload",
@@ -137,6 +138,30 @@ def encode_json_frame(kind: int, message: Dict[str, Any]) -> bytes:
         _HEADER.pack(FRAME_MAGIC0, FRAME_MAGIC1, FRAME_VERSION, kind, len(payload))
         + payload
     )
+
+
+def encode_hello_frame(
+    client: str = "repro-client",
+    *,
+    session: bool = False,
+    session_token: Union[str, None] = None,
+    resume_from: Union[int, None] = None,
+) -> bytes:
+    """The v2 upgrade ``hello`` frame, optionally opening/resuming a session.
+
+    With ``session=False`` this is the plain protocol upgrade.  With
+    ``session=True`` the hello carries ``session_token`` (``None`` asks
+    the daemon to mint one) and, when resuming, ``resume_from`` — the
+    client's highest acked submit sequence number, which the daemon
+    cross-checks against its own watermark (see
+    :mod:`repro.service.protocol`, *Sessions and resume*).
+    """
+    message: Dict[str, Any] = {"type": "hello", "client": client, "protocol": 2}
+    if session or session_token is not None:
+        message["session_token"] = session_token
+        if resume_from is not None:
+            message["resume_from"] = resume_from
+    return encode_json_frame(K_HELLO, message)
 
 
 def encode_submit_frame(

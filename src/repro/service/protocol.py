@@ -37,6 +37,31 @@ then answers with a v2 ``welcome`` frame and switches its send side to
 frames for that connection.  Clients preferring v2 must fall back to v1
 when the server only advertises ``[1]``.
 
+Sessions and resume
+-------------------
+A v2 ``hello`` may additionally carry ``"session_token"`` (a lowercase
+hex string previously issued by the daemon, or ``null`` to open a new
+session) and optionally ``"resume_from"`` (the client's highest acked
+submit sequence number, cross-checked against the daemon's watermark).
+The daemon answers with a ``"session"`` object inside the v2
+``welcome``::
+
+    {"session": {"token": "…", "acked_seq": N, "resumed": true|false}}
+
+``acked_seq`` is the daemon's per-session watermark: the highest submit
+``seq`` it has admitted *in full* for that token.  On reconnect the
+client drops every locally buffered batch with ``seq <= acked_seq``
+(the batch was ingested; only the ack was lost) and re-submits the
+rest with their *original* sequence numbers.  The daemon dedups by
+``(session_token, seq)`` — a resubmitted ``seq`` at or below the
+watermark is acked again (``"duplicate": true``) without re-entering
+the ingest queue, which makes reconnect-and-replay exactly-once.
+Tokens are daemon-issued only (an unknown well-formed token opens a
+*fresh* session — the daemon that issued it is gone); a malformed
+token or a ``resume_from`` ahead of the daemon's watermark is rejected
+with an ``error`` reply and no session.  Session state is in-memory
+and bounded (:data:`MAX_TRACKED_SESSIONS` least-recently-used entries).
+
 Prefer v1 when debugging (messages are greppable and can be spoken with
 ``nc``/``telnet``), when producing from tools that only know JSON, or
 for interop with pre-v2 daemons; prefer v2 for throughput — bulk
@@ -95,6 +120,8 @@ and :func:`value_from_wire` restores the originals exactly.
 from __future__ import annotations
 
 import json
+import re
+import secrets
 from typing import Any, Dict, List
 
 from repro.core.common import BOTTOM
@@ -112,7 +139,10 @@ from repro.core.violations import (
 __all__ = [
     "PROTOCOL_VERSION",
     "PROTOCOL_VERSIONS",
+    "MAX_TRACKED_SESSIONS",
     "ProtocolError",
+    "new_session_token",
+    "validate_session_token",
     "encode_message",
     "decode_line",
     "value_to_wire",
@@ -143,6 +173,38 @@ SERVER_MESSAGE_TYPES = frozenset(
 
 class ProtocolError(ValueError):
     """A malformed or out-of-contract wire message."""
+
+
+# ----------------------------------------------------------------------
+# Session tokens (idempotent reconnect/resume)
+# ----------------------------------------------------------------------
+
+#: Upper bound on daemon-tracked resume sessions; the oldest-touched
+#: session is evicted past this, so a token-churning client cannot grow
+#: daemon memory without bound.
+MAX_TRACKED_SESSIONS = 1024
+
+#: Token grammar: lowercase hex, 8–64 chars.  Wide enough for 256-bit
+#: tokens, tight enough that the daemon can reject a forged or corrupted
+#: token from its shape alone.
+_SESSION_TOKEN_RE = re.compile(r"^[0-9a-f]{8,64}$")
+
+
+def new_session_token() -> str:
+    """Mint a fresh 128-bit session token (lowercase hex)."""
+    return secrets.token_hex(16)
+
+
+def validate_session_token(token: Any) -> str:
+    """Return ``token`` when it matches the wire grammar, else raise.
+
+    Raises :class:`ProtocolError` for anything that is not a lowercase
+    hex string of 8–64 characters — the daemon rejects malformed resume
+    attempts from the token's shape, before touching its session table.
+    """
+    if not isinstance(token, str) or not _SESSION_TOKEN_RE.match(token):
+        raise ProtocolError(f"malformed session token {token!r}")
+    return token
 
 
 def encode_message(message: Dict[str, Any]) -> bytes:

@@ -324,7 +324,7 @@ class TestDaemonEndpoints:
         assert status == 200
         assert health["status"] == "ok"
         assert set(health["components"]) == {
-            "drain", "backlog", "queue", "ext_timer", "shards",
+            "drain", "backlog", "queue", "ext_timer", "resume_storm", "shards",
         }
         assert all(component["ok"] for component in health["components"].values())
         # Infinite EXT timeout -> the timer component reports disabled.
