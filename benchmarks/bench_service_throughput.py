@@ -74,7 +74,7 @@ def _in_process(txns):
     return elapsed, violations
 
 
-def _via_service(txns, *, n_clients, protocol):
+def _via_service(txns, *, n_clients, protocol, pipelined=False):
     host_gc.collect()
     config = ServiceConfig(
         port=0,
@@ -96,8 +96,15 @@ def _via_service(txns, *, n_clients, protocol):
                 client = CheckerClient(host, port, protocol=protocol)
                 client.connect()
                 with client:
-                    for offset in range(0, len(mine), BATCH):
-                        client.submit_many(mine[offset : offset + BATCH], ack=False)
+                    if pipelined:
+                        # Windowed pipelining: frames coalesce into
+                        # vectored sends instead of one syscall each.
+                        client.submit_pipelined(
+                            mine, batch_size=BATCH, window=8, ack=False
+                        )
+                    else:
+                        for offset in range(0, len(mine), BATCH):
+                            client.submit_many(mine[offset : offset + BATCH], ack=False)
                     # Dispatch is serial per connection, so the pong
                     # proves every submit above was admitted to the
                     # ingest queue — without it, the control drain below
@@ -131,6 +138,14 @@ FRONTENDS = [
     ("ndjson v1, 4 clients", lambda txns: _via_service(txns, n_clients=4, protocol=1)),
     ("frames v2, 1 client", lambda txns: _via_service(txns, n_clients=1, protocol=2)),
     ("frames v2, 4 clients", lambda txns: _via_service(txns, n_clients=4, protocol=2)),
+    (
+        "frames v2 pipelined, 1 client",
+        lambda txns: _via_service(txns, n_clients=1, protocol=2, pipelined=True),
+    ),
+    (
+        "frames v2 pipelined, 4 clients",
+        lambda txns: _via_service(txns, n_clients=4, protocol=2, pipelined=True),
+    ),
 ]
 
 
@@ -209,6 +224,8 @@ _RESULT_KEYS = {
     "ndjson v1, 4 clients": "ndjson_4_clients",
     "frames v2, 1 client": "v2_1_client",
     "frames v2, 4 clients": "v2_4_clients",
+    "frames v2 pipelined, 1 client": "v2_pipelined_1_client",
+    "frames v2 pipelined, 4 clients": "v2_pipelined_4_clients",
 }
 
 

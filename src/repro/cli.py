@@ -145,8 +145,14 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--level", default="si", choices=["si", "ser"])
     serve.add_argument("--shards", type=int, default=1,
                        help="shard the SI checker's state across N shards")
-    serve.add_argument("--executor", default="serial", choices=["serial", "process"],
-                       help="how sharded batches execute (process = worker pool)")
+    serve.add_argument("--executor", default="serial",
+                       choices=["serial", "process", "shm-process"],
+                       help="how sharded batches execute (process = pickled "
+                       "pipe worker pool, shm-process = shared-memory lanes)")
+    serve.add_argument("--lane-kb", type=int, default=1024, metavar="KB",
+                       help="shared-memory lane ring capacity per shard in "
+                       "KiB (shm-process only; frames over half this fall "
+                       "back to the pipe path)")
     serve.add_argument("--timeout", type=float, default=5.0,
                        help="EXT re-checking timeout in seconds ('inf' disables)")
     serve.add_argument("--queue-capacity", type=int, default=10_000,
@@ -219,6 +225,9 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--level", default="si", choices=["si", "ser"])
     chaos.add_argument("--shards", type=int, default=1,
                        help="shard the daemon's SI checker across N shards")
+    chaos.add_argument("--executor", default="serial",
+                       choices=["serial", "process", "shm-process"],
+                       help="shard executor for the daemon under test")
     chaos.add_argument("--kills", type=int, default=2,
                        help="scheduled connection kills (client must resume)")
     chaos.add_argument("--restarts", type=int, default=1,
@@ -375,6 +384,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         level=args.level,
         n_shards=args.shards,
         shard_executor=args.executor,
+        lane_capacity=args.lane_kb * 1024,
         timeout=args.timeout,
         queue_capacity=args.queue_capacity,
         batch_size=args.batch_size,
@@ -535,6 +545,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         schedule,
         level=args.level,
         n_shards=args.shards,
+        shard_executor=args.executor,
         n_sessions=args.sessions,
         n_keys=args.keys,
         txns_per_segment=args.txns_per_segment,

@@ -49,7 +49,7 @@ from repro.core.violations import (
     Violation,
 )
 from repro.histories.model import OpKind, Transaction
-from repro.histories.serialization import ColumnarBatch
+from repro.core.colpack import ColumnarBatch
 from repro.util.sizeof import deep_sizeof
 from repro.util.sortedmap import SortedMap
 

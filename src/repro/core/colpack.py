@@ -1,0 +1,1200 @@
+"""Columnar packs: the shared binary value codec of wire and shard lanes.
+
+One struct-packed layout serves every boundary a batch of operations
+crosses:
+
+- **Wire blobs** — :func:`pack_columnar` renders a batch of transactions
+  as one binary blob (five bulk-packed ``i64`` meta columns, per-blob key
+  interning, one op-kind byte per op, and op values split into a tag
+  column + a bulk ``i64`` column + an overflow stream).
+  :func:`unpack_columnar` decodes the blob into a :class:`ColumnarBatch`
+  of flat parallel arrays, and accepts any buffer — ``bytes`` or a
+  ``memoryview`` slice straight out of a socket read buffer, so the
+  receive path never copies the payload before decoding.  The binary
+  wire protocol's submit frames (:mod:`repro.service.framing`) and the
+  packed WAL/history files are both this blob.
+- **Shard lane frames** — :func:`pack_flat_frame` packs one shard's
+  routed flat command stream (``tags``/``keys``/``a``/``b``/``c``
+  parallel arrays, see :mod:`repro.core.sharded`) with the same column
+  layout, and :func:`pack_result_frame` packs the shard's semantic
+  results; both decode in place from ``memoryview`` slices into a
+  shared-memory ring (:mod:`repro.core.shm`), so the multi-core
+  executor moves batches across the process boundary without pickle.
+
+The two framings share the tag vocabulary and payload encodings but
+differ in one deliberate way: wire values keep *JSONL parity* (top-level
+sequences decode as shallow tuples, dicts survive via embedded JSON —
+exactly what a JSON array round trip yields), while lane values use the
+*strict* codec, which preserves native fidelity (lists stay lists,
+tuples nest) and refuses anything it cannot round-trip exactly by
+raising :class:`UnencodableValue` — the executor then falls back to the
+pickle pipe for that stream, so lane transport can never change a
+verdict.
+
+This module sits below both :mod:`repro.histories.serialization` and
+:mod:`repro.core.sharded` and imports only the history model, keeping
+the ``repro.core`` ↔ ``repro.histories`` import graph acyclic.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.histories.model import BOTTOM, Operation, OpKind, Transaction
+
+__all__ = [
+    "ColumnarBatch",
+    "pack_columnar",
+    "unpack_columnar",
+    "UnencodableValue",
+    "pack_flat_frame",
+    "unpack_flat_frame",
+    "pack_result_frame",
+    "unpack_result_frame",
+    "FLAT_VISIBLE",
+    "FLAT_ADD_READ",
+    "FLAT_REMOVE_READ",
+    "FLAT_OVERLAP_ADD",
+    "FLAT_INSERT_RECHECK",
+    "FLAT_MERGE",
+    "FLAT_READ_TRACK",
+    "FLAT_WRITE_PROBE",
+    "RESULT_INLINE",
+]
+
+#: A readable buffer the decoders accept: ``bytes`` or a ``memoryview``
+#: (e.g. a zero-copy slice of a socket read buffer or a shared-memory
+#: ring).  ``struct.unpack_from`` handles both natively.
+Buffer = Union[bytes, bytearray, memoryview]
+
+#: Op kind codes of the columnar format (one byte per op).
+OP_READ, OP_WRITE, OP_APPEND, OP_READ_LIST = 0, 1, 2, 3
+_CODE_OF_KIND = {
+    OpKind.READ: OP_READ,
+    OpKind.WRITE: OP_WRITE,
+    OpKind.APPEND: OP_APPEND,
+    OpKind.READ_LIST: OP_READ_LIST,
+}
+_KIND_OF_CODE = (OpKind.READ, OpKind.WRITE, OpKind.APPEND, OpKind.READ_LIST)
+
+#: Value type tags of the columnar value stream.
+_VAL_NONE = 0
+_VAL_BOTTOM = 1
+_VAL_FALSE = 2
+_VAL_TRUE = 3
+_VAL_INT = 4      # i64 payload
+_VAL_FLOAT = 5    # f64 payload
+_VAL_STR = 6      # u32 length + UTF-8 payload
+_VAL_TUPLE = 7    # u32 count + tagged items
+_VAL_JSON = 8     # u32 length + UTF-8 JSON payload (dicts, big ints, …)
+_VAL_LIST = 9     # u32 count + tagged items (strict/lane codec only)
+
+_I64_MIN, _I64_MAX = -(1 << 63), (1 << 63) - 1
+_INT_TAG = bytes([_VAL_INT])
+
+_HDR = struct.Struct("!III")          # n_txns, n_keys, n_ops
+_U16 = struct.Struct("!H")
+_U32 = struct.Struct("!I")
+_TAG_I64 = struct.Struct("!Bq")
+_TAG_F64 = struct.Struct("!Bd")
+_TAG_U32 = struct.Struct("!BI")
+_I64 = struct.Struct("!q")
+_F64 = struct.Struct("!d")
+
+
+class ColumnarBatch:
+    """A batch of transactions as flat parallel arrays.
+
+    The decode target of :func:`unpack_columnar` and the layout the
+    checkers' batch kernel routes from directly: five per-transaction
+    integer columns, an op-offset column (``op_offsets[i] ..
+    op_offsets[i+1]`` is transaction ``i``'s slice of the flat op
+    arrays), op kinds as a bytes column, and resolved key strings plus
+    decoded values per op.  No per-transaction dicts, no
+    :class:`Operation` objects — those materialize lazily through
+    :meth:`transactions` / :meth:`build_ops` only when something off the
+    hot path (GC spill, the sharded router) asks.
+    """
+
+    __slots__ = (
+        "tids",
+        "sids",
+        "snos",
+        "starts",
+        "commits",
+        "op_offsets",
+        "op_kinds",
+        "op_keys",
+        "op_values",
+    )
+
+    def __init__(
+        self,
+        tids: Sequence[int],
+        sids: Sequence[int],
+        snos: Sequence[int],
+        starts: Sequence[int],
+        commits: Sequence[int],
+        op_offsets: Sequence[int],
+        op_kinds: bytes,
+        op_keys: List[str],
+        op_values: List[Any],
+    ) -> None:
+        self.tids = tids
+        self.sids = sids
+        self.snos = snos
+        self.starts = starts
+        self.commits = commits
+        self.op_offsets = op_offsets
+        self.op_kinds = op_kinds
+        self.op_keys = op_keys
+        self.op_values = op_values
+
+    def __len__(self) -> int:
+        return len(self.tids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ColumnarBatch({len(self)} txns, {len(self.op_kinds)} ops)"
+
+    @property
+    def has_appends(self) -> bool:
+        """True when any op is an append (bytes scan, no Python loop)."""
+        return OP_APPEND in self.op_kinds
+
+    def build_ops(self, lo: int, hi: int) -> Tuple[Operation, ...]:
+        """Materialize one transaction's :class:`Operation` tuple."""
+        kinds = self.op_kinds
+        keys = self.op_keys
+        values = self.op_values
+        kind_of = _KIND_OF_CODE
+        return tuple(
+            Operation(kind_of[kinds[i]], keys[i], values[i]) for i in range(lo, hi)
+        )
+
+    def transaction_at(self, index: int) -> Transaction:
+        """One transaction, ops materialized lazily on first access."""
+        offsets = self.op_offsets
+        return Transaction.from_parts(
+            self.tids[index],
+            self.sids[index],
+            self.snos[index],
+            self.starts[index],
+            self.commits[index],
+            self,
+            offsets[index],
+            offsets[index + 1],
+        )
+
+    def transactions(self) -> List[Transaction]:
+        """Materialize the whole batch as :class:`Transaction` objects.
+
+        Ops are built eagerly: callers of this method (the sharded
+        router, replays, tests) walk every operation anyway, and eager
+        transactions do not pin the batch's arrays afterwards.
+        """
+        offsets = self.op_offsets
+        return [
+            Transaction(
+                self.tids[i],
+                self.sids[i],
+                self.snos[i],
+                self.build_ops(offsets[i], offsets[i + 1]),
+                self.starts[i],
+                self.commits[i],
+            )
+            for i in range(len(self.tids))
+        ]
+
+    def slices(self, max_size: int) -> Iterator["ColumnarBatch"]:
+        """Split into consecutive sub-batches of at most ``max_size``."""
+        n = len(self.tids)
+        if n <= max_size:
+            yield self
+            return
+        offsets = self.op_offsets
+        for lo in range(0, n, max_size):
+            hi = min(lo + max_size, n)
+            op_lo, op_hi = offsets[lo], offsets[hi]
+            yield ColumnarBatch(
+                self.tids[lo:hi],
+                self.sids[lo:hi],
+                self.snos[lo:hi],
+                self.starts[lo:hi],
+                self.commits[lo:hi],
+                [offset - op_lo for offset in offsets[lo : hi + 1]],
+                self.op_kinds[op_lo:op_hi],
+                self.op_keys[op_lo:op_hi],
+                self.op_values[op_lo:op_hi],
+            )
+
+
+def _encode_value(value: Any, out: bytearray) -> None:
+    """Append one *inline* tagged value (tag byte + payload) to ``out``.
+
+    This is the nested-value encoding: tuple items travel through it.
+    Top-level op values use the split layout built by
+    :func:`_encode_top` instead (tag column + packed i64 column +
+    overflow stream), which shares the tag vocabulary and payload
+    encodings defined here.
+
+    Fidelity contract (JSONL parity): scalars carry native payloads;
+    sequences become shallow tuples on decode (items that are themselves
+    sequences/dicts travel as embedded JSON, reproducing exactly what
+    the JSONL codec's array round trip yields); dicts and
+    out-of-``i64`` ints fall back to embedded JSON.  ``⊥v`` gets a
+    native tag — an extension over JSONL, which cannot encode it.
+    """
+    if value is None:
+        out.append(_VAL_NONE)
+    elif value is True:
+        out.append(_VAL_TRUE)
+    elif value is False:
+        out.append(_VAL_FALSE)
+    elif type(value) is int:
+        if _I64_MIN <= value <= _I64_MAX:
+            out += _TAG_I64.pack(_VAL_INT, value)
+        else:
+            payload = json.dumps(value).encode("utf-8")
+            out += _TAG_U32.pack(_VAL_JSON, len(payload))
+            out += payload
+    elif type(value) is str:
+        payload = value.encode("utf-8")
+        out += _TAG_U32.pack(_VAL_STR, len(payload))
+        out += payload
+    elif isinstance(value, (tuple, list)):
+        out += _TAG_U32.pack(_VAL_TUPLE, len(value))
+        for item in value:
+            if isinstance(item, (tuple, list, dict)):
+                # Shallow-tuple parity with the JSONL codec: nested
+                # sequences decode back as lists, dicts as dicts.
+                payload = json.dumps(item, ensure_ascii=False).encode("utf-8")
+                out += _TAG_U32.pack(_VAL_JSON, len(payload))
+                out += payload
+            else:
+                _encode_value(item, out)
+    elif isinstance(value, float):
+        out += _TAG_F64.pack(_VAL_FLOAT, value)
+    elif value is BOTTOM:
+        out.append(_VAL_BOTTOM)
+    elif isinstance(value, bool):  # bool subclasses handled above by identity
+        out.append(_VAL_TRUE if value else _VAL_FALSE)
+    elif isinstance(value, int):  # int subclasses (IntEnum, …)
+        _encode_value(int(value), out)
+    elif isinstance(value, str):  # str subclasses
+        _encode_value(str(value), out)
+    else:
+        # Anything else must survive a JSON round trip, exactly like the
+        # JSONL codec; json.dumps raising TypeError is the shared
+        # "unencodable value" contract.
+        payload = json.dumps(value, ensure_ascii=False).encode("utf-8")
+        out += _TAG_U32.pack(_VAL_JSON, len(payload))
+        out += payload
+
+
+def _encode_top(value: Any, tags: bytearray, ints: List[int], overflow: bytearray) -> None:
+    """Append one top-level op value to the split columns.
+
+    The packers inline the two overwhelmingly common cases (in-range
+    ints and ``None``) at the call site; everything else lands here.
+    The tag goes into the per-op tag column; an in-range int goes into
+    the bulk-packed i64 column; any other payload goes into the overflow
+    stream using the same per-tag payload encodings as
+    :func:`_encode_value`, minus the (redundant) inline tag byte.
+    """
+    if value is None:
+        tags.append(_VAL_NONE)
+    elif value is True:
+        tags.append(_VAL_TRUE)
+    elif value is False:
+        tags.append(_VAL_FALSE)
+    elif type(value) is int:
+        if _I64_MIN <= value <= _I64_MAX:
+            tags.append(_VAL_INT)
+            ints.append(value)
+        else:
+            payload = json.dumps(value).encode("utf-8")
+            tags.append(_VAL_JSON)
+            overflow += _U32.pack(len(payload))
+            overflow += payload
+    elif type(value) is str:
+        payload = value.encode("utf-8")
+        tags.append(_VAL_STR)
+        overflow += _U32.pack(len(payload))
+        overflow += payload
+    elif isinstance(value, (tuple, list)):
+        tags.append(_VAL_TUPLE)
+        overflow += _U32.pack(len(value))
+        for item in value:
+            if isinstance(item, (tuple, list, dict)):
+                # Shallow-tuple parity with the JSONL codec: nested
+                # sequences decode back as lists, dicts as dicts.
+                payload = json.dumps(item, ensure_ascii=False).encode("utf-8")
+                overflow += _TAG_U32.pack(_VAL_JSON, len(payload))
+                overflow += payload
+            else:
+                _encode_value(item, overflow)
+    elif isinstance(value, float):
+        tags.append(_VAL_FLOAT)
+        overflow += _F64.pack(value)
+    elif value is BOTTOM:
+        tags.append(_VAL_BOTTOM)
+    elif isinstance(value, bool):  # bool subclasses handled above by identity
+        tags.append(_VAL_TRUE if value else _VAL_FALSE)
+    elif isinstance(value, int):  # int subclasses (IntEnum, …)
+        _encode_top(int(value), tags, ints, overflow)
+    elif isinstance(value, str):  # str subclasses
+        _encode_top(str(value), tags, ints, overflow)
+    else:
+        # Anything else must survive a JSON round trip, exactly like the
+        # JSONL codec; json.dumps raising TypeError is the shared
+        # "unencodable value" contract.
+        payload = json.dumps(value, ensure_ascii=False).encode("utf-8")
+        tags.append(_VAL_JSON)
+        overflow += _U32.pack(len(payload))
+        overflow += payload
+
+
+def _decode_values(buf: Buffer, offset: int, count: int) -> Tuple[List[Any], int]:
+    """Decode ``count`` tagged values; returns (values, next offset)."""
+    values: List[Any] = []
+    append = values.append
+    i64_unpack = _I64.unpack_from
+    f64_unpack = _F64.unpack_from
+    u32_unpack = _U32.unpack_from
+    end = len(buf)
+    for _ in range(count):
+        if offset >= end:
+            raise ValueError("columnar pack truncated in value stream")
+        tag = buf[offset]
+        offset += 1
+        if tag == _VAL_INT:
+            append(i64_unpack(buf, offset)[0])
+            offset += 8
+        elif tag == _VAL_STR:
+            (length,) = u32_unpack(buf, offset)
+            offset += 4
+            payload = buf[offset : offset + length]
+            if len(payload) != length:
+                raise ValueError("columnar pack truncated in string value")
+            append(str(payload, "utf-8"))
+            offset += length
+        elif tag == _VAL_NONE:
+            append(None)
+        elif tag == _VAL_TUPLE:
+            (n_items,) = u32_unpack(buf, offset)
+            offset += 4
+            if n_items > end - offset:  # each item needs >= 1 byte
+                raise ValueError("columnar pack truncated in tuple value")
+            items, offset = _decode_values(buf, offset, n_items)
+            append(tuple(items))
+        elif tag == _VAL_TRUE:
+            append(True)
+        elif tag == _VAL_FALSE:
+            append(False)
+        elif tag == _VAL_FLOAT:
+            append(f64_unpack(buf, offset)[0])
+            offset += 8
+        elif tag == _VAL_JSON:
+            (length,) = u32_unpack(buf, offset)
+            offset += 4
+            payload = buf[offset : offset + length]
+            if len(payload) != length:
+                raise ValueError("columnar pack truncated in JSON value")
+            append(json.loads(bytes(payload)))
+            offset += length
+        elif tag == _VAL_BOTTOM:
+            append(BOTTOM)
+        else:
+            raise ValueError(f"unknown value tag {tag}")
+    return values, offset
+
+
+def _decode_top_values(buf: Buffer, offset: int, n_ops: int) -> Tuple[List[Any], int]:
+    """Decode the split top-level value section; returns (values, next offset).
+
+    Layout: ``n_ops`` tag bytes, then one bulk ``!{k}q`` column holding
+    every ``_VAL_INT`` payload in op order (``k`` = the tag column's INT
+    count — recomputed here at C speed), then the overflow stream of
+    per-tag payloads for everything non-scalar.  The dominant case (an
+    in-range int) costs one list index per op instead of a struct call.
+    """
+    tags = bytes(buf[offset : offset + n_ops])
+    if len(tags) != n_ops:
+        raise ValueError("columnar pack truncated in value tags")
+    offset += n_ops
+    n_ints = tags.count(_VAL_INT)
+    ints_struct = struct.Struct(f"!{n_ints}q")
+    ints = ints_struct.unpack_from(buf, offset)
+    offset += ints_struct.size
+    if n_ints == n_ops:  # steady-state register batches: every value an int
+        return list(ints), offset
+    values: List[Any] = []
+    append = values.append
+    f64_unpack = _F64.unpack_from
+    u32_unpack = _U32.unpack_from
+    end = len(buf)
+    next_int = 0
+    for tag in tags:
+        if tag == _VAL_INT:
+            append(ints[next_int])
+            next_int += 1
+        elif tag == _VAL_NONE:
+            append(None)
+        elif tag == _VAL_STR:
+            (length,) = u32_unpack(buf, offset)
+            offset += 4
+            payload = buf[offset : offset + length]
+            if len(payload) != length:
+                raise ValueError("columnar pack truncated in string value")
+            append(str(payload, "utf-8"))
+            offset += length
+        elif tag == _VAL_TUPLE:
+            (n_items,) = u32_unpack(buf, offset)
+            offset += 4
+            if n_items > end - offset:  # each item needs >= 1 byte
+                raise ValueError("columnar pack truncated in tuple value")
+            items, offset = _decode_values(buf, offset, n_items)
+            append(tuple(items))
+        elif tag == _VAL_TRUE:
+            append(True)
+        elif tag == _VAL_FALSE:
+            append(False)
+        elif tag == _VAL_FLOAT:
+            append(f64_unpack(buf, offset)[0])
+            offset += 8
+        elif tag == _VAL_JSON:
+            (length,) = u32_unpack(buf, offset)
+            offset += 4
+            payload = buf[offset : offset + length]
+            if len(payload) != length:
+                raise ValueError("columnar pack truncated in JSON value")
+            append(json.loads(bytes(payload)))
+            offset += length
+        elif tag == _VAL_BOTTOM:
+            append(BOTTOM)
+        else:
+            raise ValueError(f"unknown value tag {tag}")
+    return values, offset
+
+
+def pack_columnar(txns: Union[Sequence[Transaction], ColumnarBatch]) -> bytes:
+    """Pack a batch of transactions as one columnar binary blob.
+
+    One walk over the ops: the five meta columns are packed as i64
+    arrays, keys are interned into a per-blob string table, kinds become
+    one byte per op, and values split into a tag column, one bulk-packed
+    i64 column for in-range ints (the overwhelmingly common op value),
+    and an overflow stream for everything else — no per-op struct call
+    on the hot path, and no per-transaction dict or JSON object.
+    """
+    if isinstance(txns, ColumnarBatch):
+        return _pack_from_batch(txns)
+    n = len(txns)
+    offsets: List[int] = [0] * (n + 1)
+    op_lists = [txn.ops for txn in txns]
+    n_ops = 0
+    for index, ops in enumerate(op_lists):
+        n_ops += len(ops)
+        offsets[index + 1] = n_ops
+    flat_ops = [op for ops in op_lists for op in ops]
+    code_of = _CODE_OF_KIND
+    # Identity checks beat the enum dict lookup (Enum.__hash__ re-hashes
+    # the member name on every call) for the two register-workload kinds.
+    kind_read, kind_write = OpKind.READ, OpKind.WRITE
+    kinds = bytes(
+        OP_READ
+        if (kind := op.kind) is kind_read
+        else OP_WRITE if kind is kind_write else code_of[kind]
+        for op in flat_ops
+    )
+    flat_keys = [op.key for op in flat_ops]
+    key_ids: Dict[str, int] = {}
+    for key in flat_keys:
+        if key not in key_ids:
+            key_ids[key] = len(key_ids)
+    id_blob = struct.pack(f"!{n_ops}I", *map(key_ids.__getitem__, flat_keys))
+    flat_values = [op.value for op in flat_ops]
+    ints_blob = None
+    if set(map(type, flat_values)) == {int}:
+        # Steady-state register batches: every value a genuine int (the
+        # type check keeps bools out — struct would silently coerce
+        # them).  Out-of-i64-range ints fall through to the tagged walk.
+        try:
+            ints_blob = struct.pack(f"!{n_ops}q", *flat_values)
+            tags: Union[bytes, bytearray] = _INT_TAG * n_ops
+            overflow: Union[bytes, bytearray] = b""
+        except struct.error:
+            ints_blob = None
+    if ints_blob is None:
+        tags = bytearray()
+        tags_append = tags.append
+        ints: List[int] = []
+        ints_append = ints.append
+        overflow = bytearray()
+        i64_min, i64_max = _I64_MIN, _I64_MAX
+        val_int, val_none = _VAL_INT, _VAL_NONE
+        for value in flat_values:
+            if type(value) is int and i64_min <= value <= i64_max:
+                tags_append(val_int)
+                ints_append(value)
+            elif value is None:
+                tags_append(val_none)
+            else:
+                _encode_top(value, tags, ints, overflow)
+        ints_blob = struct.pack(f"!{len(ints)}q", *ints)
+    parts = [_HDR.pack(n, len(key_ids), n_ops)]
+    table = bytearray()
+    for key in key_ids:  # insertion order == id order
+        encoded = key.encode("utf-8")
+        if len(encoded) > 0xFFFF:
+            raise ValueError(f"key too long for columnar pack ({len(encoded)} bytes)")
+        table += _U16.pack(len(encoded))
+        table += encoded
+    parts.append(bytes(table))
+    meta = struct.Struct(f"!{n}q")
+    parts.append(meta.pack(*(txn.tid for txn in txns)))
+    parts.append(meta.pack(*(txn.sid for txn in txns)))
+    parts.append(meta.pack(*(txn.sno for txn in txns)))
+    parts.append(meta.pack(*(txn.start_ts for txn in txns)))
+    parts.append(meta.pack(*(txn.commit_ts for txn in txns)))
+    parts.append(struct.pack(f"!{n + 1}I", *offsets))
+    parts.append(kinds)
+    parts.append(id_blob)
+    parts.append(bytes(tags))
+    parts.append(ints_blob)
+    parts.append(bytes(overflow))
+    return b"".join(parts)
+
+
+def _pack_from_batch(batch: ColumnarBatch) -> bytes:
+    """Re-pack an already-columnar batch (relay / packed-WAL writes)."""
+    n = len(batch)
+    n_ops = len(batch.op_kinds)
+    key_ids: Dict[str, int] = {}
+    key_ids_get = key_ids.get
+    id_column: List[int] = []
+    id_append = id_column.append
+    for key in batch.op_keys:
+        key_id = key_ids_get(key)
+        if key_id is None:
+            key_id = key_ids[key] = len(key_ids)
+        id_append(key_id)
+    op_values = batch.op_values
+    ints_blob = None
+    if set(map(type, op_values)) == {int}:
+        try:
+            ints_blob = struct.pack(f"!{n_ops}q", *op_values)
+            tags: Union[bytes, bytearray] = _INT_TAG * n_ops
+            overflow: Union[bytes, bytearray] = b""
+        except struct.error:
+            ints_blob = None
+    if ints_blob is None:
+        tags = bytearray()
+        tags_append = tags.append
+        ints: List[int] = []
+        ints_append = ints.append
+        overflow = bytearray()
+        i64_min, i64_max = _I64_MIN, _I64_MAX
+        val_int, val_none = _VAL_INT, _VAL_NONE
+        for value in op_values:
+            if type(value) is int and i64_min <= value <= i64_max:
+                tags_append(val_int)
+                ints_append(value)
+            elif value is None:
+                tags_append(val_none)
+            else:
+                _encode_top(value, tags, ints, overflow)
+        ints_blob = struct.pack(f"!{len(ints)}q", *ints)
+    parts = [_HDR.pack(n, len(key_ids), n_ops)]
+    table = bytearray()
+    for key in key_ids:
+        encoded = key.encode("utf-8")
+        if len(encoded) > 0xFFFF:
+            raise ValueError(f"key too long for columnar pack ({len(encoded)} bytes)")
+        table += _U16.pack(len(encoded))
+        table += encoded
+    parts.append(bytes(table))
+    meta = struct.Struct(f"!{n}q")
+    parts.append(meta.pack(*batch.tids))
+    parts.append(meta.pack(*batch.sids))
+    parts.append(meta.pack(*batch.snos))
+    parts.append(meta.pack(*batch.starts))
+    parts.append(meta.pack(*batch.commits))
+    parts.append(struct.pack(f"!{n + 1}I", *batch.op_offsets))
+    parts.append(bytes(batch.op_kinds))
+    parts.append(struct.pack(f"!{n_ops}I", *id_column))
+    parts.append(bytes(tags))
+    parts.append(ints_blob)
+    parts.append(bytes(overflow))
+    return b"".join(parts)
+
+
+def unpack_columnar(buf: Buffer, offset: int = 0) -> Tuple[ColumnarBatch, int]:
+    """Decode one columnar blob; returns ``(batch, next offset)``.
+
+    Accepts ``bytes`` or a ``memoryview`` slice — every column is read
+    in place via ``struct.unpack_from``; only the decoded Python objects
+    are materialized, never a second copy of the payload.
+
+    Raises :class:`ValueError` on any truncation, bad count, dangling
+    key reference, or unknown tag — the framing layer maps that to its
+    ``ProtocolError``.  Never returns a silently truncated batch: every
+    column's byte range is length-checked before slicing.
+    """
+    try:
+        n, n_keys, n_ops = _HDR.unpack_from(buf, offset)
+        offset += _HDR.size
+        table: List[str] = []
+        table_append = table.append
+        u16_unpack = _U16.unpack_from
+        for _ in range(n_keys):
+            (length,) = u16_unpack(buf, offset)
+            offset += 2
+            encoded = buf[offset : offset + length]
+            if len(encoded) != length:
+                raise ValueError("columnar pack truncated in key table")
+            table_append(str(encoded, "utf-8"))
+            offset += length
+        meta = struct.Struct(f"!{n}q")
+        meta_bytes = meta.size
+        tids = meta.unpack_from(buf, offset)
+        sids = meta.unpack_from(buf, offset + meta_bytes)
+        snos = meta.unpack_from(buf, offset + 2 * meta_bytes)
+        starts = meta.unpack_from(buf, offset + 3 * meta_bytes)
+        commits = meta.unpack_from(buf, offset + 4 * meta_bytes)
+        offset += 5 * meta_bytes
+        offsets_struct = struct.Struct(f"!{n + 1}I")
+        op_offsets = offsets_struct.unpack_from(buf, offset)
+        offset += offsets_struct.size
+        if op_offsets[0] != 0 or op_offsets[-1] != n_ops:
+            raise ValueError("columnar pack op offsets do not cover the op count")
+        previous = 0
+        for boundary in op_offsets:
+            if boundary < previous:
+                raise ValueError("columnar pack op offsets not monotonic")
+            previous = boundary
+        op_kinds = bytes(buf[offset : offset + n_ops])
+        if len(op_kinds) != n_ops:
+            raise ValueError("columnar pack truncated in op kinds")
+        for code in op_kinds:
+            if code > OP_READ_LIST:
+                raise ValueError(f"unknown op code {code}")
+        offset += n_ops
+        ids_struct = struct.Struct(f"!{n_ops}I")
+        id_column = ids_struct.unpack_from(buf, offset)
+        offset += ids_struct.size
+        op_keys = list(map(table.__getitem__, id_column))
+        op_values, offset = _decode_top_values(buf, offset, n_ops)
+    except (struct.error, IndexError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"malformed columnar pack: {exc}") from None
+    return (
+        ColumnarBatch(
+            tids, sids, snos, starts, commits, op_offsets, op_kinds, op_keys, op_values
+        ),
+        offset,
+    )
+
+
+# ======================================================================
+# Shard lane frames: flat command streams and result frames
+# ======================================================================
+
+#: Integer tags of the flat shard command encoding — one row across the
+#: five parallel arrays ``(tags, keys, a, b, c)``; operand meaning per
+#: tag is documented in :mod:`repro.core.sharded`, which routes batches
+#: into these streams.
+FLAT_VISIBLE = 0
+FLAT_ADD_READ = 1
+FLAT_REMOVE_READ = 2
+FLAT_OVERLAP_ADD = 3
+FLAT_INSERT_RECHECK = 4
+FLAT_MERGE = 5
+#: Fused rows — the router's hot path emits one row per external read
+#: (visible probe + read registration) and one per write (overlap query
+#: + insert/recheck), halving the rows that cross the process boundary;
+#: the two-row forms above remain valid input for the interpreter.
+FLAT_READ_TRACK = 6
+FLAT_WRITE_PROBE = 7
+
+#: First byte of every lane frame.
+RQ_FLAT = 1          # request lane: one shard's flat command stream
+RESULT_INLINE = 2    # result lane: strict-encoded semantic results follow
+
+#: Per-result kind bytes of the result frame (a visible value can itself
+#: be a tuple, so the shape cannot be inferred from the payload).
+_RK_VALUE = 0
+_RK_PAIRS = 1
+_RK_REEVALS = 2
+
+_FLAT_HDR = struct.Struct("!BBI")  # frame kind, optimized flag, n_commands
+
+#: Result shapes each flat tag contributes (see ``_ShardCore.
+#: execute_flat``): probes yield a value, overlap queries a pair list,
+#: insert+recheck a re-evaluation list; the fused write row yields two
+#: result slots; bookkeeping rows yield nothing.
+_RKS_OF_TAG = {
+    FLAT_VISIBLE: bytes((_RK_VALUE,)),
+    FLAT_READ_TRACK: bytes((_RK_VALUE,)),
+    FLAT_OVERLAP_ADD: bytes((_RK_PAIRS,)),
+    FLAT_INSERT_RECHECK: bytes((_RK_REEVALS,)),
+    FLAT_WRITE_PROBE: bytes((_RK_PAIRS, _RK_REEVALS)),
+}
+_NO_RESULT = b""
+
+
+class UnencodableValue(ValueError):
+    """A value the *strict* lane codec cannot round-trip natively.
+
+    Deliberately narrow: the strict codec refuses dicts, out-of-``i64``
+    ints, and subclassed scalars rather than degrade them the way the
+    JSONL-parity wire codec does — a lane frame that cannot reproduce
+    the exact value falls back to the pickle pipe, so the transport can
+    never change a verdict.
+    """
+
+
+def _encode_strict(value: Any, out: bytearray) -> None:
+    """Append one inline tagged value with *native* fidelity.
+
+    Exact types only (a subclass could carry state the tag cannot);
+    tuples and lists keep their type and nest recursively; everything
+    else raises :class:`UnencodableValue`.
+    """
+    if value is None:
+        out.append(_VAL_NONE)
+    elif value is True:
+        out.append(_VAL_TRUE)
+    elif value is False:
+        out.append(_VAL_FALSE)
+    elif type(value) is int:
+        if _I64_MIN <= value <= _I64_MAX:
+            out += _TAG_I64.pack(_VAL_INT, value)
+        else:
+            raise UnencodableValue("int out of i64 range")
+    elif type(value) is str:
+        payload = value.encode("utf-8")
+        out += _TAG_U32.pack(_VAL_STR, len(payload))
+        out += payload
+    elif type(value) is float:
+        out += _TAG_F64.pack(_VAL_FLOAT, value)
+    elif value is BOTTOM:
+        out.append(_VAL_BOTTOM)
+    elif type(value) is tuple:
+        out += _TAG_U32.pack(_VAL_TUPLE, len(value))
+        for item in value:
+            _encode_strict(item, out)
+    elif type(value) is list:
+        out += _TAG_U32.pack(_VAL_LIST, len(value))
+        for item in value:
+            _encode_strict(item, out)
+    else:
+        raise UnencodableValue(
+            f"lane codec cannot round-trip {type(value).__name__} natively"
+        )
+
+
+def _decode_strict_values(buf: Buffer, offset: int, count: int) -> Tuple[List[Any], int]:
+    """Decode ``count`` strict-encoded inline values."""
+    values: List[Any] = []
+    append = values.append
+    i64_unpack = _I64.unpack_from
+    f64_unpack = _F64.unpack_from
+    u32_unpack = _U32.unpack_from
+    end = len(buf)
+    for _ in range(count):
+        if offset >= end:
+            raise ValueError("lane frame truncated in value stream")
+        tag = buf[offset]
+        offset += 1
+        if tag == _VAL_INT:
+            append(i64_unpack(buf, offset)[0])
+            offset += 8
+        elif tag == _VAL_NONE:
+            append(None)
+        elif tag == _VAL_BOTTOM:
+            append(BOTTOM)
+        elif tag == _VAL_STR:
+            (length,) = u32_unpack(buf, offset)
+            offset += 4
+            payload = buf[offset : offset + length]
+            if len(payload) != length:
+                raise ValueError("lane frame truncated in string value")
+            append(str(payload, "utf-8"))
+            offset += length
+        elif tag == _VAL_TRUE:
+            append(True)
+        elif tag == _VAL_FALSE:
+            append(False)
+        elif tag == _VAL_FLOAT:
+            append(f64_unpack(buf, offset)[0])
+            offset += 8
+        elif tag in (_VAL_TUPLE, _VAL_LIST):
+            (n_items,) = u32_unpack(buf, offset)
+            offset += 4
+            if n_items > end - offset:  # each item needs >= 1 byte
+                raise ValueError("lane frame truncated in sequence value")
+            items, offset = _decode_strict_values(buf, offset, n_items)
+            append(tuple(items) if tag == _VAL_TUPLE else items)
+        else:
+            raise ValueError(f"unknown strict value tag {tag}")
+    return values, offset
+
+
+#: Types the bulk column fast paths cover: pure-int columns (timestamps,
+#: tids) and int/None/⊥v mixes (operand columns, visible-value columns).
+#: ``bool`` is deliberately absent — it subclasses ``int`` and must take
+#: the general loop's identity checks.
+_BOTTOM_TYPE = type(BOTTOM)
+_FAST_TYPES = frozenset((int, type(None), _BOTTOM_TYPE))
+
+
+def _pack_strict_column(values: Sequence[Any]) -> bytes:
+    """Pack one operand column of a flat stream (split layout).
+
+    Same three-section layout as the wire's top-level value section —
+    tag column, bulk ``!{k}q`` int column, overflow stream — but with
+    the strict payload encodings.  Raises :class:`UnencodableValue`
+    for anything the strict codec refuses.
+    """
+    n = len(values)
+    types = set(map(type, values)) if n else ()
+    if types == {int}:
+        try:
+            return _INT_TAG * n + struct.pack(f"!{n}q", *values)
+        except struct.error:
+            raise UnencodableValue("int out of i64 range") from None
+    if types and types <= _FAST_TYPES:
+        # int/None/⊥v mix: two bulk passes instead of the branchy loop.
+        tags = bytes(
+            _VAL_INT
+            if type(value) is int
+            else (_VAL_NONE if value is None else _VAL_BOTTOM)
+            for value in values
+        )
+        ints = [value for value in values if type(value) is int]
+        try:
+            return tags + struct.pack(f"!{len(ints)}q", *ints)
+        except struct.error:
+            raise UnencodableValue("int out of i64 range") from None
+    tags = bytearray()
+    tags_append = tags.append
+    ints: List[int] = []
+    ints_append = ints.append
+    overflow = bytearray()
+    i64_min, i64_max = _I64_MIN, _I64_MAX
+    for value in values:
+        if type(value) is int:
+            if i64_min <= value <= i64_max:
+                tags_append(_VAL_INT)
+                ints_append(value)
+            else:
+                raise UnencodableValue("int out of i64 range")
+        elif value is None:
+            tags_append(_VAL_NONE)
+        elif value is True:
+            tags_append(_VAL_TRUE)
+        elif value is False:
+            tags_append(_VAL_FALSE)
+        elif type(value) is str:
+            payload = value.encode("utf-8")
+            tags_append(_VAL_STR)
+            overflow += _U32.pack(len(payload))
+            overflow += payload
+        elif type(value) is float:
+            tags_append(_VAL_FLOAT)
+            overflow += _F64.pack(value)
+        elif value is BOTTOM:
+            tags_append(_VAL_BOTTOM)
+        elif type(value) is tuple:
+            tags_append(_VAL_TUPLE)
+            overflow += _U32.pack(len(value))
+            for item in value:
+                _encode_strict(item, overflow)
+        elif type(value) is list:
+            tags_append(_VAL_LIST)
+            overflow += _U32.pack(len(value))
+            for item in value:
+                _encode_strict(item, overflow)
+        else:
+            raise UnencodableValue(
+                f"lane codec cannot round-trip {type(value).__name__} natively"
+            )
+    return bytes(tags) + struct.pack(f"!{len(ints)}q", *ints) + bytes(overflow)
+
+
+def _unpack_strict_column(buf: Buffer, offset: int, n: int) -> Tuple[List[Any], int]:
+    """Decode one operand column; returns (values, next offset)."""
+    tags = bytes(buf[offset : offset + n])
+    if len(tags) != n:
+        raise ValueError("lane frame truncated in column tags")
+    offset += n
+    n_ints = tags.count(_VAL_INT)
+    ints_struct = struct.Struct(f"!{n_ints}q")
+    ints = ints_struct.unpack_from(buf, offset)
+    offset += ints_struct.size
+    if n_ints == n:  # timestamp/tid columns: every operand an int
+        return list(ints), offset
+    if n_ints + tags.count(_VAL_NONE) + tags.count(_VAL_BOTTOM) == n:
+        # int/None/⊥v mix: one branch-light pass, no payload cursor.
+        next_int = iter(ints).__next__
+        return (
+            [
+                next_int()
+                if tag == _VAL_INT
+                else (None if tag == _VAL_NONE else BOTTOM)
+                for tag in tags
+            ],
+            offset,
+        )
+    values: List[Any] = []
+    append = values.append
+    f64_unpack = _F64.unpack_from
+    u32_unpack = _U32.unpack_from
+    end = len(buf)
+    next_int = 0
+    for tag in tags:
+        if tag == _VAL_INT:
+            append(ints[next_int])
+            next_int += 1
+        elif tag == _VAL_NONE:
+            append(None)
+        elif tag == _VAL_BOTTOM:
+            append(BOTTOM)
+        elif tag == _VAL_STR:
+            (length,) = u32_unpack(buf, offset)
+            offset += 4
+            payload = buf[offset : offset + length]
+            if len(payload) != length:
+                raise ValueError("lane frame truncated in string value")
+            append(str(payload, "utf-8"))
+            offset += length
+        elif tag == _VAL_TRUE:
+            append(True)
+        elif tag == _VAL_FALSE:
+            append(False)
+        elif tag == _VAL_FLOAT:
+            append(f64_unpack(buf, offset)[0])
+            offset += 8
+        elif tag in (_VAL_TUPLE, _VAL_LIST):
+            (n_items,) = u32_unpack(buf, offset)
+            offset += 4
+            if n_items > end - offset:
+                raise ValueError("lane frame truncated in sequence value")
+            items, offset = _decode_strict_values(buf, offset, n_items)
+            append(tuple(items) if tag == _VAL_TUPLE else items)
+        else:
+            raise ValueError(f"unknown strict value tag {tag}")
+    return values, offset
+
+
+#: Entries kept in a caller-supplied key encode cache before it is
+#: reset — bounds coordinator memory against unbounded key spaces.
+_KEY_CACHE_LIMIT = 1 << 18
+
+
+def pack_flat_frame(
+    tags: Sequence[int],
+    keys: Sequence[str],
+    a: Sequence[Any],
+    b: Sequence[Any],
+    c: Sequence[Any],
+    d: Sequence[Any],
+    optimized: bool,
+    key_cache: "Optional[Dict[str, bytes]]" = None,
+) -> bytes:
+    """Pack one shard's flat command stream as a request-lane frame.
+
+    Layout: the frame header (kind byte, optimized flag, command count),
+    a per-frame interned key table, the command tag column as raw bytes,
+    a ``u32`` key-id column, then the four operand columns in the split
+    strict layout.  ``key_cache`` (optional, caller-owned) memoizes the
+    length-prefixed UTF-8 form of each key across frames — the
+    coordinator packs the same key space every batch.  Raises
+    :class:`UnencodableValue` when any operand refuses strict encoding
+    (the coordinator then falls back to the pipe); ``FLAT_MERGE`` rows
+    carry spill dicts and must never reach this packer — the coordinator
+    routes streams containing them to the pipe wholesale.
+    """
+    n = len(tags)
+    key_ids: Dict[str, int] = {}
+    key_ids_get = key_ids.get
+    id_column: List[int] = []
+    id_append = id_column.append
+    if key_cache is None:
+        key_cache = {}
+    elif len(key_cache) > _KEY_CACHE_LIMIT:
+        key_cache.clear()
+    cache_get = key_cache.get
+    table_parts: List[bytes] = [b""]  # [0] becomes the count header
+    table_append = table_parts.append
+    for key in keys:
+        key_id = key_ids_get(key)
+        if key_id is None:
+            key_id = key_ids[key] = len(key_ids)
+            encoded = cache_get(key)
+            if encoded is None:
+                raw = key.encode("utf-8")
+                if len(raw) > 0xFFFF:
+                    raise UnencodableValue(
+                        f"key too long for lane frame ({len(raw)} bytes)"
+                    )
+                encoded = key_cache[key] = _U16.pack(len(raw)) + raw
+            table_append(encoded)
+        id_append(key_id)
+    table_parts[0] = _U32.pack(len(key_ids))
+    return b"".join(
+        (
+            _FLAT_HDR.pack(RQ_FLAT, 1 if optimized else 0, n),
+            b"".join(table_parts),
+            bytes(tags),
+            struct.pack(f"!{n}I", *id_column),
+            _pack_strict_column(a),
+            _pack_strict_column(b),
+            _pack_strict_column(c),
+            _pack_strict_column(d),
+        )
+    )
+
+
+def unpack_flat_frame(
+    buf: Buffer,
+) -> Tuple[bytes, List[str], List[Any], List[Any], List[Any], List[Any], bool]:
+    """Decode a request-lane frame in place; returns the stream + flag.
+
+    The returned ``tags`` is a ``bytes`` column (indexing yields the
+    same ints ``execute_flat`` branches on); keys and operands are fully
+    materialized Python objects, so the frame's ring slot is free for
+    reuse the moment this returns.
+    """
+    kind, optimized, n = _FLAT_HDR.unpack_from(buf, 0)
+    if kind != RQ_FLAT:
+        raise ValueError(f"not a flat request frame (kind {kind})")
+    offset = _FLAT_HDR.size
+    (n_keys,) = _U32.unpack_from(buf, offset)
+    offset += 4
+    table: List[str] = []
+    table_append = table.append
+    u16_unpack = _U16.unpack_from
+    for _ in range(n_keys):
+        (length,) = u16_unpack(buf, offset)
+        offset += 2
+        encoded = buf[offset : offset + length]
+        if len(encoded) != length:
+            raise ValueError("lane frame truncated in key table")
+        table_append(str(encoded, "utf-8"))
+        offset += length
+    tags = bytes(buf[offset : offset + n])
+    if len(tags) != n:
+        raise ValueError("lane frame truncated in tag column")
+    offset += n
+    ids_struct = struct.Struct(f"!{n}I")
+    id_column = ids_struct.unpack_from(buf, offset)
+    offset += ids_struct.size
+    keys = list(map(table.__getitem__, id_column))
+    a, offset = _unpack_strict_column(buf, offset, n)
+    b, offset = _unpack_strict_column(buf, offset, n)
+    c, offset = _unpack_strict_column(buf, offset, n)
+    d, offset = _unpack_strict_column(buf, offset, n)
+    return tags, keys, a, b, c, d, bool(optimized)
+
+
+def result_kinds(tags: Iterable[int]) -> bytes:
+    """The result-shape column of one flat stream — one ``_RK_*`` byte
+    per result slot of ``execute_flat``, in stream order (bookkeeping
+    rows emit nothing; a fused write row emits two slots)."""
+    of_tag = _RKS_OF_TAG.get
+    return b"".join([of_tag(tag, _NO_RESULT) for tag in tags])
+
+
+_RESULT_HDR = struct.Struct("!BII")  # frame kind, n_results, n_values
+
+
+def pack_result_frame(results: Sequence[Any], kinds: bytes) -> bytes:
+    """Pack one shard's semantic results as a result-lane frame.
+
+    ``kinds`` is the shape column from :func:`result_kinds` — one
+    ``_RK_*`` byte per result, written to the frame verbatim (a visible
+    value can itself be a tuple, so shape is never inferred from the
+    payload).  Split layout: the shape column, then every visible value
+    bulk-packed as one strict column — the common all-int/⊥v case costs
+    two passes instead of a tagged encode per value — then an overflow
+    stream holding overlap hits as bulk-packed ``(owner_tid,
+    owner_commit_ts)`` i64 arrays and re-evaluations as ``(reader_tid,
+    ok, expected)`` records.  Raises :class:`UnencodableValue` when any
+    value refuses strict encoding — the worker then ships the results
+    over the pipe and pushes :data:`RESULT_VIA_PIPE_FRAME` instead.
+    """
+    values: List[Any] = []
+    values_append = values.append
+    tail = bytearray()
+    for shape, result in zip(kinds, results):
+        if shape == _RK_VALUE:
+            values_append(result)
+        elif shape == _RK_PAIRS:
+            tail += _U32.pack(len(result))
+            if result:
+                flat = [part for pair in result for part in pair]
+                tail += struct.pack(f"!{len(flat)}q", *flat)
+        else:  # _RK_REEVALS
+            tail += _U32.pack(len(result))
+            for reader_tid, ok, expected in result:
+                tail += _I64.pack(reader_tid)
+                tail.append(1 if ok else 0)
+                _encode_strict(expected, tail)
+    return b"".join(
+        (
+            _RESULT_HDR.pack(RESULT_INLINE, len(results), len(values)),
+            kinds,
+            _pack_strict_column(values),
+            bytes(tail),
+        )
+    )
+
+
+def unpack_result_frame(buf: Buffer) -> List[Any]:
+    """Decode a result-lane frame in place into the results list the
+    coordinator's merge walk consumes (one entry per semantic command,
+    stream order)."""
+    if buf[0] != RESULT_INLINE:
+        raise ValueError(f"not an inline result frame (kind {buf[0]})")
+    _, count, n_values = _RESULT_HDR.unpack_from(buf, 0)
+    offset = _RESULT_HDR.size
+    shapes = bytes(buf[offset : offset + count])
+    if len(shapes) != count:
+        raise ValueError("result frame truncated in shape column")
+    offset += count
+    values, offset = _unpack_strict_column(buf, offset, n_values)
+    if shapes.count(_RK_VALUE) == count:  # read-only batch: done
+        return values
+    results: List[Any] = []
+    append = results.append
+    next_value = iter(values).__next__
+    i64_unpack = _I64.unpack_from
+    u32_unpack = _U32.unpack_from
+    for shape in shapes:
+        if shape == _RK_VALUE:
+            append(next_value())
+        elif shape == _RK_PAIRS:
+            (n_pairs,) = u32_unpack(buf, offset)
+            offset += 4
+            pairs_struct = struct.Struct(f"!{2 * n_pairs}q")
+            flat = pairs_struct.unpack_from(buf, offset)
+            offset += pairs_struct.size
+            append([(flat[i], flat[i + 1]) for i in range(0, 2 * n_pairs, 2)])
+        elif shape == _RK_REEVALS:
+            (n_reevals,) = u32_unpack(buf, offset)
+            offset += 4
+            reevals: List[Tuple[int, bool, Any]] = []
+            for _ in range(n_reevals):
+                (reader_tid,) = i64_unpack(buf, offset)
+                offset += 8
+                ok = buf[offset] == 1
+                offset += 1
+                expected_values, offset = _decode_strict_values(buf, offset, 1)
+                reevals.append((reader_tid, ok, expected_values[0]))
+            append(reevals)
+        else:
+            raise ValueError(f"unknown result shape {shape}")
+    return results

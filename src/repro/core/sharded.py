@@ -44,11 +44,32 @@ dedicated worker process connected by a pipe; a batch then dispatches all
 shard command lists at once and the shards execute them in parallel,
 free of the GIL.  Results (and therefore verdicts) are identical — only
 where the commands run changes.
+
+``executor="shm-process"`` keeps the same worker topology but moves the
+data plane off the pickle pipe onto **shared-memory shard lanes**: per
+shard, one request ring and one result ring
+(:class:`~repro.core.shm.ShmRing`).  The coordinator packs each routed
+flat stream *once* with the shared columnar codec
+(:func:`~repro.core.colpack.pack_flat_frame`), the worker decodes the
+frame in place from a ``memoryview`` into the ring — no pickle and no
+receive-side copy on the request path — and answers with a compact
+result frame on its result lane.  Fallback is graceful and per-batch:
+streams carrying spill merges, values the strict lane codec refuses, or
+frames beyond the ring's bound take the pipe path instead, and a result
+that refuses strict encoding rides inside the worker's doorbell reply —
+so verdicts are transport-independent by construction, not by luck.
+Waiting is doorbell-driven in both directions (tiny fixed-size pipe
+messages; both sides park in real blocking waits), so lanes cost no
+busy-polling even on hosts with fewer cores than shards.  The
+request-lane heartbeat doubles as a liveness signal:
+:meth:`ShardedAion.workers_alive` detects a *wedged* (alive but
+stalled) worker by watching the heartbeat freeze.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import signal
 import threading
 import time
@@ -56,6 +77,14 @@ import zlib
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.aion import AionConfig, GcReport, _TID_MAX
+from repro.core.colpack import (
+    UnencodableValue,
+    pack_flat_frame,
+    pack_result_frame,
+    result_kinds,
+    unpack_flat_frame,
+    unpack_result_frame,
+)
 from repro.core.common import BOTTOM, SessionTracker, values_match
 from repro.core.ext_status import (
     EV_ACTUAL,
@@ -80,7 +109,7 @@ from repro.core.violations import (
     Violation,
 )
 from repro.histories.model import OpKind, Transaction
-from repro.histories.serialization import ColumnarBatch
+from repro.core.colpack import ColumnarBatch
 from repro.util.sizeof import deep_sizeof
 from repro.util.sortedmap import SortedMap
 
@@ -93,28 +122,41 @@ def shard_of(key: str, n_shards: int) -> int:
 
 
 # Integer tags of the flat shard command encoding.  A command is one row
-# across the five parallel arrays (tags, keys, a, b, c); operand meaning
-# per tag:
+# across the six parallel arrays (tags, keys, a, b, c, d); operand
+# meaning per tag:
 #
-#   ==================  =============  ============  ===========  ========
-#   tag                 key            a             b            c
-#   ==================  =============  ============  ===========  ========
-#   _VISIBLE            key            snapshot_ts   —            —
-#   _ADD_READ           key            snapshot_ts   tid          actual
-#   _REMOVE_READ        key            snapshot_ts   tid          —
-#   _OVERLAP_ADD        key            start_ts      commit_ts    tid
-#   _INSERT_RECHECK     key            commit_ts     value        tid
-#   _MERGE              ""             frontier_seg  interval_seg —
-#   ==================  =============  ============  ===========  ========
-_VISIBLE = 0
-_ADD_READ = 1
-_REMOVE_READ = 2
-_OVERLAP_ADD = 3
-_INSERT_RECHECK = 4
-_MERGE = 5
+#   ==================  =====  ============  ============  =======  ======
+#   tag                 key    a             b             c        d
+#   ==================  =====  ============  ============  =======  ======
+#   _READ_TRACK         key    snapshot_ts   tid           actual   —
+#   _WRITE_PROBE        key    start_ts      commit_ts     tid      value
+#   _REMOVE_READ        key    snapshot_ts   tid           —        —
+#   _MERGE              ""     frontier_seg  interval_seg  —        —
+#   _VISIBLE            key    snapshot_ts   —             —        —
+#   _ADD_READ           key    snapshot_ts   tid           actual   —
+#   _OVERLAP_ADD        key    start_ts      commit_ts     tid      —
+#   _INSERT_RECHECK     key    commit_ts     value         tid      —
+#   ==================  =====  ============  ============  =======  ======
+#
+# The router emits the fused rows (_READ_TRACK = visible probe + read
+# registration, _WRITE_PROBE = overlap query + insert/recheck) — half
+# the rows per batch of the two-row forms, which the interpreter still
+# accepts.  The tag values are owned by :mod:`repro.core.colpack` (the
+# lane frame codec speaks them on the wire); aliased here for the
+# interpreter loop.
+from repro.core.colpack import FLAT_VISIBLE as _VISIBLE
+from repro.core.colpack import FLAT_ADD_READ as _ADD_READ
+from repro.core.colpack import FLAT_REMOVE_READ as _REMOVE_READ
+from repro.core.colpack import FLAT_OVERLAP_ADD as _OVERLAP_ADD
+from repro.core.colpack import FLAT_INSERT_RECHECK as _INSERT_RECHECK
+from repro.core.colpack import FLAT_MERGE as _MERGE
+from repro.core.colpack import FLAT_READ_TRACK as _READ_TRACK
+from repro.core.colpack import FLAT_WRITE_PROBE as _WRITE_PROBE
 
-#: One shard's flat command stream: (tags, keys, a, b, c) parallel lists.
-_FlatStream = Tuple[List[int], List[str], List[Any], List[Any], List[Any]]
+#: One shard's flat command stream: (tags, keys, a, b, c, d) lists.
+_FlatStream = Tuple[
+    List[int], List[str], List[Any], List[Any], List[Any], List[Any]
+]
 
 
 class _ShardCore:
@@ -142,15 +184,17 @@ class _ShardCore:
         a: List[Any],
         b: List[Any],
         c: List[Any],
+        d: List[Any],
         optimized: bool,
     ) -> List[Any]:
         """Interpret one batch's flat command arrays for this shard.
 
         Returns only the *semantic* results (visible values, overlap
-        hits, re-evaluation lists) in stream order; bookkeeping commands
-        (add/remove read, merge) emit no result slot, so the
-        coordinator's merge walk consumes results with a plain
-        sequential cursor — no None-skipping.
+        hits, re-evaluation lists) in stream order — a fused write row
+        contributes two slots (overlap hits, then re-evaluations);
+        bookkeeping commands (add/remove read, merge) emit no result
+        slot, so the coordinator's merge walk consumes results with a
+        plain sequential cursor — no None-skipping.
         """
         results: List[Any] = []
         append = results.append
@@ -158,41 +202,45 @@ class _ShardCore:
         writers = self.writers
         ext_reads = self.ext_reads
         value_at = frontier.value_at
+        insert_and_next_ts = frontier.insert_and_next_ts
+        collect_affected = ext_reads.collect_affected
+        add_read = ext_reads.add
+        overlap_add = writers.overlap_add
+
+        def recheck(key: str, commit_ts: int, value: Any, tid: int) -> List[Tuple]:
+            next_ts = insert_and_next_ts(key, commit_ts, value, tid)
+            if optimized:
+                return [
+                    (reader_tid, actual == value, value)
+                    for _sts, reader_tid, actual in collect_affected(
+                        key, commit_ts, next_ts, tid
+                    )
+                ]
+            reevals: List[Tuple[int, bool, Any]] = []
+            for sts, reader_tid, actual in collect_affected(key, 0, None, tid):
+                expected = value_at(key, sts, BOTTOM)
+                reevals.append((reader_tid, values_match(expected, actual), expected))
+            return reevals
+
         for i in range(len(tags)):
             tag = tags[i]
             key = keys[i]
-            if tag == _VISIBLE:
+            if tag == _READ_TRACK:
                 append(value_at(key, a[i], BOTTOM))
-            elif tag == _ADD_READ:
-                ext_reads.add(key, a[i], b[i], c[i])
-            elif tag == _OVERLAP_ADD:
-                append(writers.overlap_add(key, a[i], b[i], c[i]))
-            elif tag == _INSERT_RECHECK:
-                commit_ts = a[i]
-                value = b[i]
-                tid = c[i]
-                next_ts = frontier.insert_and_next_ts(key, commit_ts, value, tid)
-                if optimized:
-                    append(
-                        [
-                            (reader_tid, actual == value, value)
-                            for _sts, reader_tid, actual in ext_reads.collect_affected(
-                                key, commit_ts, next_ts, tid
-                            )
-                        ]
-                    )
-                else:
-                    reevals: List[Tuple[int, bool, Any]] = []
-                    for sts, reader_tid, actual in ext_reads.collect_affected(
-                        key, 0, None, tid
-                    ):
-                        expected = value_at(key, sts, BOTTOM)
-                        reevals.append(
-                            (reader_tid, values_match(expected, actual), expected)
-                        )
-                    append(reevals)
+                add_read(key, a[i], b[i], c[i])
+            elif tag == _WRITE_PROBE:
+                append(overlap_add(key, a[i], b[i], c[i]))
+                append(recheck(key, b[i], d[i], c[i]))
             elif tag == _REMOVE_READ:
                 ext_reads.remove(key, a[i], b[i])
+            elif tag == _VISIBLE:
+                append(value_at(key, a[i], BOTTOM))
+            elif tag == _ADD_READ:
+                add_read(key, a[i], b[i], c[i])
+            elif tag == _OVERLAP_ADD:
+                append(overlap_add(key, a[i], b[i], c[i]))
+            elif tag == _INSERT_RECHECK:
+                append(recheck(key, a[i], b[i], c[i]))
             else:  # _MERGE — spilled segments spliced back in-stream
                 frontier.merge(
                     {k: [tuple(v) for v in versions] for k, versions in a[i].items()}
@@ -264,6 +312,81 @@ def _shard_worker(conn) -> None:
         conn.close()
 
 
+#: Doorbell the coordinator rings on the pipe after pushing a request
+#: frame — a tiny fixed-size message that wakes a worker parked inside
+#: ``conn.poll`` without carrying any data (the data is on the ring).
+_NUDGE = ("nudge", None)
+
+#: How long a worker parks in ``conn.poll`` per loop iteration when
+#: idle.  Wake-ups are doorbell-driven, so this bounds only the
+#: heartbeat cadence (and costs ~20 wake-ups/s per idle shard).
+_PARK_SECONDS = 0.05
+
+
+def _shard_worker_shm(conn, req_name: str, res_name: str) -> None:
+    """Shm-mode loop: consume request-lane frames in place, answer on
+    the result lane; the pipe carries doorbells, the control plane, and
+    the fallback path.
+
+    Waiting is doorbell-driven on both sides: the worker parks in
+    ``conn.poll`` (a real blocking wait — no busy polling to steal the
+    coordinator's CPU on starved hosts) and the coordinator rings the
+    pipe after each ring push; symmetrically, every processed frame is
+    answered with one tiny pipe message saying *where* the results are
+    (``("lane", None)`` — frame on the result ring — or ``("pipe",
+    results)`` when they refuse strict encoding or outgrow the ring), so
+    the coordinator blocks in ``recv`` rather than spinning on the ring.
+    The loop beats the request ring's heartbeat every iteration — busy
+    or idle — so the coordinator can tell a wedged worker (heartbeat
+    frozen beyond the park cadence) from an idle one.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+    from repro.core.shm import ShmRing
+
+    req = ShmRing.attach(req_name)
+    res = ShmRing.attach(res_name)
+    core = _ShardCore()
+    try:
+        while True:
+            req.beat()
+            view = req.try_pop()
+            if view is not None:
+                try:
+                    tags, keys, a, b, c, d, optimized = unpack_flat_frame(view)
+                finally:
+                    req.consume()
+                results = core.execute_flat(tags, keys, a, b, c, d, optimized)
+                try:
+                    frame = pack_result_frame(results, result_kinds(tags))
+                except UnencodableValue:
+                    frame = None
+                if frame is not None and res.try_push(frame):
+                    conn.send(("lane", None))
+                else:
+                    # Results refuse strict encoding or do not fit the
+                    # ring right now: ship them inside the doorbell.
+                    conn.send(("pipe", results))
+                continue
+            if conn.poll(_PARK_SECONDS):
+                message = conn.recv()
+                if message is None:
+                    break
+                kind, payload = message
+                if kind == "flat":
+                    conn.send(("pipe", core.execute_flat(*payload)))
+                elif kind != "nudge":
+                    conn.send(core.execute(payload))
+    except (EOFError, OSError, KeyboardInterrupt):  # pragma: no cover - teardown
+        pass
+    finally:
+        conn.close()
+        req.close()
+        res.close()
+
+
 class ShardedAion:
     """Online SI checker with hash-partitioned state and batch ingestion.
 
@@ -276,9 +399,21 @@ class ShardedAion:
     clock:
         Zero-argument time source, as for :class:`Aion`.
     executor:
-        ``"serial"`` executes shard command lists in-process; ``"process"``
-        pins each shard to a dedicated worker process and executes a
-        batch's shard lists in parallel.  Verdicts are identical.
+        ``"serial"`` executes shard command lists in-process;
+        ``"process"`` pins each shard to a dedicated worker process and
+        executes a batch's shard lists in parallel over pickle pipes;
+        ``"shm-process"`` keeps the worker topology but moves batches
+        over shared-memory lanes (see the module docstring).  Verdicts
+        are identical across all three.
+    lane_capacity:
+        Bytes per shared-memory ring (request and result lanes each),
+        ``shm-process`` only.  A frame above ``capacity // 2 - 8`` falls
+        back to the pipe; the default comfortably holds the largest
+        default-sized batch.
+    lane_stall_timeout:
+        Seconds without a heartbeat tick before
+        :meth:`workers_alive` declares a lane consumer wedged.  Must
+        exceed the longest legitimate single-batch execution.
     """
 
     def __init__(
@@ -288,10 +423,12 @@ class ShardedAion:
         n_shards: int = 4,
         clock: Optional[Callable[[], float]] = None,
         executor: str = "serial",
+        lane_capacity: int = 1 << 20,
+        lane_stall_timeout: float = 5.0,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
-        if executor not in ("serial", "process"):
+        if executor not in ("serial", "process", "shm-process"):
             raise ValueError(f"unknown executor {executor!r}")
         self.config = config or AionConfig()
         self.n_shards = n_shards
@@ -333,13 +470,50 @@ class ShardedAion:
         self._cores: Optional[List[_ShardCore]] = None
         self._workers: List[multiprocessing.Process] = []
         self._conns: List[Any] = []
+        #: Per shard ``(request_ring, result_ring)`` in shm mode.
+        self._lanes: List[Tuple[Any, Any]] = []
+        #: Length-prefixed UTF-8 key encodings, memoized across lane
+        #: frames (the coordinator packs the same key space every batch).
+        self._key_bytes: Dict[str, bytes] = {}
+        #: Per shard ``(heartbeat, monotonic observed-at)`` — the wedge
+        #: detector's memory of the last heartbeat movement.
+        self._hb_seen: List[Tuple[int, float]] = []
+        self.lane_capacity = lane_capacity
+        self.lane_stall_timeout = lane_stall_timeout
+        #: Batches moved over the lanes vs. batches that took the pipe
+        #: fallback (per shard stream, cumulative).
+        self.lane_frames = 0
+        self.lane_fallbacks = 0
         if executor == "serial":
             self._cores = [_ShardCore() for _ in range(n_shards)]
         else:
+            use_lanes = executor == "shm-process"
+            if use_lanes:
+                from repro.core.shm import ShmRing, shm_available
+
+                if not shm_available():
+                    raise RuntimeError(
+                        "executor='shm-process' requires working POSIX shared "
+                        "memory (multiprocessing.shared_memory); use "
+                        "executor='process' on this platform"
+                    )
             ctx = multiprocessing.get_context()
             for _ in range(n_shards):
                 parent_conn, child_conn = ctx.Pipe()
-                worker = ctx.Process(target=_shard_worker, args=(child_conn,), daemon=True)
+                if use_lanes:
+                    req = ShmRing.create(lane_capacity)
+                    res = ShmRing.create(lane_capacity)
+                    worker = ctx.Process(
+                        target=_shard_worker_shm,
+                        args=(child_conn, req.name, res.name),
+                        daemon=True,
+                    )
+                    self._lanes.append((req, res))
+                    self._hb_seen.append((0, time.monotonic()))
+                else:
+                    worker = ctx.Process(
+                        target=_shard_worker, args=(child_conn,), daemon=True
+                    )
                 worker.start()
                 child_conn.close()
                 self._workers.append(worker)
@@ -393,17 +567,18 @@ class ShardedAion:
 
         t_route0 = perf_counter() if timing else 0.0
         streams: List[_FlatStream] = [
-            ([], [], [], [], []) for _ in range(self.n_shards)
+            ([], [], [], [], [], []) for _ in range(self.n_shards)
         ]
         for shard, removals in enumerate(self._pending_removals):
             if removals:
-                tags, keys, a, b, c = streams[shard]
+                tags, keys, a, b, c, d = streams[shard]
                 for key, snapshot_ts, tid in removals:
                     tags.append(_REMOVE_READ)
                     keys.append(key)
                     a.append(snapshot_ts)
                     b.append(tid)
                     c.append(None)
+                    d.append(None)
                 self._pending_removals[shard] = []
 
         plan = self._route_batch(txns, streams)
@@ -519,32 +694,24 @@ class ShardedAion:
             steps: List[Tuple] = []
             for key, op in txn.external_reads.items():
                 shard = shard_of(key, n_shards)
-                tags, keys, a, b, c = streams[shard]
-                tags.append(_VISIBLE)
-                keys.append(key)
-                a.append(start_ts)
-                b.append(None)
-                c.append(None)
-                tags.append(_ADD_READ)
+                tags, keys, a, b, c, d = streams[shard]
+                tags.append(_READ_TRACK)
                 keys.append(key)
                 a.append(start_ts)
                 b.append(tid)
                 c.append(op.value)
+                d.append(None)
                 steps.append(("track", shard, key, op.value))
             n_reads += len(steps)
             for key, value in writes.items():
                 shard = shard_of(key, n_shards)
-                tags, keys, a, b, c = streams[shard]
-                tags.append(_OVERLAP_ADD)
+                tags, keys, a, b, c, d = streams[shard]
+                tags.append(_WRITE_PROBE)
                 keys.append(key)
                 a.append(start_ts)
                 b.append(commit_ts)
                 c.append(tid)
-                tags.append(_INSERT_RECHECK)
-                keys.append(key)
-                a.append(commit_ts)
-                b.append(value)
-                c.append(tid)
+                d.append(value)
                 steps.append(("conflicts", shard, key))
                 steps.append(("reevals", shard, key))
             n_writes += len(writes)
@@ -559,20 +726,23 @@ class ShardedAion:
             return
         for payload in self._spill.reload_overlapping(0, None):
             for shard_key, segment in payload.get("shards", {}).items():
-                tags, keys, a, b, c = streams[int(shard_key)]
+                tags, keys, a, b, c, d = streams[int(shard_key)]
                 tags.append(_MERGE)
                 keys.append("")
                 a.append(segment.get("frontier", {}))
                 b.append(segment.get("intervals", {}))
                 c.append(None)
+                d.append(None)
 
     def _execute(self, streams: List[_FlatStream]) -> List[List[Any]]:
         optimized = self.config.optimized_recheck
         if self._cores is not None:
             return [
-                core.execute_flat(tags, keys, a, b, c, optimized)
-                for core, (tags, keys, a, b, c) in zip(self._cores, streams)
+                core.execute_flat(*stream, optimized)
+                for core, stream in zip(self._cores, streams)
             ]
+        if self._lanes:
+            return self._execute_shm(streams, optimized)
         # Process mode: dispatch every non-empty stream, then collect —
         # the workers interpret their arrays concurrently.
         dispatched = []
@@ -584,6 +754,76 @@ class ShardedAion:
         for shard in dispatched:
             results[shard] = self._conns[shard].recv()
         return results
+
+    def _execute_shm(
+        self, streams: List[_FlatStream], optimized: bool
+    ) -> List[List[Any]]:
+        """Dispatch a batch over the shared-memory lanes.
+
+        Per shard stream the transport is chosen independently: streams
+        with spill merges (dict payloads the strict codec refuses by
+        design), operands the codec rejects, or frames the ring cannot
+        hold fall back to the pickle pipe — the worker serves both
+        sources, and because every batch fully drains before the next
+        dispatch (and before any control-plane command), lane and pipe
+        traffic never interleave within a shard.
+        """
+        dispatched: List[int] = []
+        for shard, stream in enumerate(streams):
+            tags = stream[0]
+            if not tags:
+                continue
+            frame = None
+            if _MERGE not in tags:
+                try:
+                    frame = pack_flat_frame(*stream, optimized, self._key_bytes)
+                except UnencodableValue:
+                    frame = None
+            try:
+                if frame is not None and self._lanes[shard][0].try_push(frame):
+                    self._conns[shard].send(_NUDGE)
+                    self.lane_frames += 1
+                else:
+                    self._conns[shard].send(("flat", stream + (optimized,)))
+                    self.lane_fallbacks += 1
+            except (BrokenPipeError, OSError):
+                raise RuntimeError(f"shard worker {shard} died mid-batch") from None
+            dispatched.append(shard)
+        results: List[List[Any]] = [[] for _ in range(self.n_shards)]
+        for shard in dispatched:
+            kind, payload = self._recv_data(shard)
+            if kind == "pipe":
+                results[shard] = payload
+            else:  # "lane": the result frame is on the ring by now
+                result_ring = self._lanes[shard][1]
+                view = result_ring.try_pop()
+                if view is None:  # pragma: no cover - protocol violation
+                    raise RuntimeError(
+                        f"shard worker {shard} announced a lane result "
+                        "that is not on the ring"
+                    )
+                try:
+                    results[shard] = unpack_result_frame(view)
+                finally:
+                    result_ring.consume()
+        return results
+
+    def _recv_data(self, shard: int) -> Tuple[str, Any]:
+        """Receive one data-plane doorbell from a shard worker.
+
+        Blocks in bounded ``poll`` slices so a worker that died
+        mid-batch surfaces as a :class:`RuntimeError` instead of a hang
+        (a closed pipe raises ``EOFError`` inside ``recv`` as well).
+        """
+        conn = self._conns[shard]
+        worker = self._workers[shard]
+        while not conn.poll(0.2):
+            if not worker.is_alive():
+                raise RuntimeError(f"shard worker {shard} died mid-batch")
+        try:
+            return conn.recv()
+        except EOFError:
+            raise RuntimeError(f"shard worker {shard} died mid-batch") from None
 
     def _merge(
         self,
@@ -730,6 +970,14 @@ class ShardedAion:
             row["shard"] = shard
             row["pending_removals"] = len(self._pending_removals[shard])
             row["last_batch_commands"] = self._last_batch_commands[shard]
+        if self._lanes:
+            for row, lane in zip(rows, self.lane_health()):
+                row["lane_heartbeat"] = lane["heartbeat"]
+                row["lane_stalled"] = int(lane["stalled"])
+                row["lane_backlog_bytes"] = (
+                    lane["request_backlog_bytes"] + lane["result_backlog_bytes"]
+                )
+                row["lane_bytes"] = lane["request_bytes"] + lane["result_bytes"]
         return rows
 
     def gc_debt(self) -> int:
@@ -745,14 +993,61 @@ class ShardedAion:
             gc_scan += row["gc_scan_steps"]
         return scan, gc_scan
 
+    def _lane_stalled(self, shard: int, now: float) -> bool:
+        """Whether shard's lane consumer looks wedged: heartbeat frozen
+        for longer than :attr:`lane_stall_timeout` (the worker beats
+        every loop iteration, including idle ones, so a frozen counter
+        is a stuck consumer, not an idle one)."""
+        beat = self._lanes[shard][0].heartbeat()
+        seen_beat, seen_at = self._hb_seen[shard]
+        if beat != seen_beat:
+            self._hb_seen[shard] = (beat, now)
+            return False
+        return (now - seen_at) > self.lane_stall_timeout
+
     def workers_alive(self) -> bool:
-        """Whether every shard executor can still take a batch (serial
-        cores always can; process mode checks the worker processes)."""
+        """Whether every shard executor can still take a batch.
+
+        Serial cores always can; process modes check the worker
+        processes, and shm mode additionally watches each lane's
+        heartbeat — a worker that is alive but no longer consuming
+        (wedged in a syscall, stopped, livelocked) counts as down.
+        """
         if self._cores is not None:
             return True
         if not self._workers:
             return False
-        return all(worker.is_alive() for worker in self._workers)
+        if not all(worker.is_alive() for worker in self._workers):
+            return False
+        if self._lanes:
+            now = time.monotonic()
+            return not any(
+                self._lane_stalled(shard, now) for shard in range(self.n_shards)
+            )
+        return True
+
+    def lane_health(self) -> List[Dict[str, Any]]:
+        """One row per shared-memory lane pair: liveness, heartbeat,
+        stall verdict, ring depths, and cumulative transferred bytes.
+        Reads only shm counters and process liveness — safe to call
+        from an observability thread without :attr:`ingest_lock`."""
+        rows: List[Dict[str, Any]] = []
+        now = time.monotonic()
+        for shard, (req, res) in enumerate(self._lanes):
+            rows.append(
+                {
+                    "shard": shard,
+                    "alive": self._workers[shard].is_alive(),
+                    "heartbeat": req.heartbeat(),
+                    "stalled": self._lane_stalled(shard, now),
+                    "request_backlog_bytes": req.lag(),
+                    "result_backlog_bytes": res.lag(),
+                    "request_bytes": req.bytes_pushed(),
+                    "result_bytes": res.bytes_pushed(),
+                    "frames": req.frames_pushed(),
+                }
+            )
+        return rows
 
     # ------------------------------------------------------------------
     # Garbage collection
@@ -871,6 +1166,11 @@ class ShardedAion:
             conn.close()
         self._conns = []
         self._workers = []
+        for req, res in self._lanes:
+            req.close(unlink=True)
+            res.close(unlink=True)
+        self._lanes = []
+        self._hb_seen = []
         if self._spill is not None:
             self._spill.close()
             self._spill = None

@@ -12,22 +12,13 @@ The format is append-friendly (the online collector writes it as the
 database runs) and loads in a single pass — the "loading" stage measured
 by the runtime-decomposition figures (Fig 8, 9, 24).
 
-**Columnar packs** — :func:`pack_columnar` renders a whole batch of
-transactions as one struct-packed binary blob: the five per-transaction
-integer columns (tids/sids/snos/start/commit timestamps) packed as
-big-endian ``i64`` arrays, per-frame key interning through a string
-table, op kinds as one byte each, and op values split into three
-columns — a 1-byte type tag per op, one bulk-packed ``i64`` array
-holding every in-range int value in op order (the dominant register
-case, packed and unpacked in a single struct call), and an overflow
-stream for the rest (``⊥v``/strs/floats/tuples carry no JSON envelope;
-dicts and out-of-range ints fall back to an embedded JSON payload).
-:func:`unpack_columnar` decodes the blob into a :class:`ColumnarBatch` —
-flat parallel arrays the checkers' batch kernel consumes directly,
-without materializing per-transaction dicts or :class:`Operation`
-objects.  The binary wire protocol's submit frames
-(:mod:`repro.service.framing`) and the packed WAL/history files
-(:func:`save_history_packed`) are both this blob.
+**Columnar packs** — the struct-packed batch codec now lives in
+:mod:`repro.core.colpack`, the shared home of every columnar framing
+(wire blobs, packed WAL files, and the sharded executor's
+shared-memory lane frames); :class:`ColumnarBatch`,
+:func:`pack_columnar` and :func:`unpack_columnar` are re-exported here
+unchanged, and :func:`save_history_packed` / :func:`load_history_packed`
+wrap them in length-prefixed file chunks.
 
 Value fidelity of the columnar codec deliberately matches the JSONL
 codec: a top-level sequence value decodes as a *shallow* tuple (nested
@@ -39,11 +30,22 @@ cannot carry at all — is a strict extension.
 from __future__ import annotations
 
 import json
-import struct
 from pathlib import Path
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterator, List, Sequence, Union
 
-from repro.histories.model import BOTTOM
+# Re-exported for compatibility: the columnar codec moved to
+# repro.core.colpack so the shard lanes can share it without importing
+# the history-file machinery.
+from repro.core.colpack import (
+    OP_APPEND,
+    OP_READ,
+    OP_READ_LIST,
+    OP_WRITE,
+    ColumnarBatch,
+    _U32,
+    pack_columnar,
+    unpack_columnar,
+)
 from repro.histories.model import History, Operation, OpKind, Transaction
 
 __all__ = [
@@ -144,633 +146,6 @@ def iter_history_file(path: Union[str, Path]) -> Iterator[Transaction]:
             line = line.strip()
             if line:
                 yield txn_from_dict(json.loads(line))
-
-
-# ======================================================================
-# Columnar packs: struct-packed transaction batches
-# ======================================================================
-
-#: Op kind codes of the columnar format (one byte per op).
-OP_READ, OP_WRITE, OP_APPEND, OP_READ_LIST = 0, 1, 2, 3
-_CODE_OF_KIND = {
-    OpKind.READ: OP_READ,
-    OpKind.WRITE: OP_WRITE,
-    OpKind.APPEND: OP_APPEND,
-    OpKind.READ_LIST: OP_READ_LIST,
-}
-_KIND_OF_CODE = (OpKind.READ, OpKind.WRITE, OpKind.APPEND, OpKind.READ_LIST)
-
-#: Value type tags of the columnar value stream.
-_VAL_NONE = 0
-_VAL_BOTTOM = 1
-_VAL_FALSE = 2
-_VAL_TRUE = 3
-_VAL_INT = 4      # i64 payload
-_VAL_FLOAT = 5    # f64 payload
-_VAL_STR = 6      # u32 length + UTF-8 payload
-_VAL_TUPLE = 7    # u32 count + tagged items
-_VAL_JSON = 8     # u32 length + UTF-8 JSON payload (dicts, big ints, …)
-
-_I64_MIN, _I64_MAX = -(1 << 63), (1 << 63) - 1
-_INT_TAG = bytes([_VAL_INT])
-
-_HDR = struct.Struct("!III")          # n_txns, n_keys, n_ops
-_U16 = struct.Struct("!H")
-_U32 = struct.Struct("!I")
-_TAG_I64 = struct.Struct("!Bq")
-_TAG_F64 = struct.Struct("!Bd")
-_TAG_U32 = struct.Struct("!BI")
-_I64 = struct.Struct("!q")
-_F64 = struct.Struct("!d")
-
-
-class ColumnarBatch:
-    """A batch of transactions as flat parallel arrays.
-
-    The decode target of :func:`unpack_columnar` and the layout the
-    checkers' batch kernel routes from directly: five per-transaction
-    integer columns, an op-offset column (``op_offsets[i] ..
-    op_offsets[i+1]`` is transaction ``i``'s slice of the flat op
-    arrays), op kinds as a bytes column, and resolved key strings plus
-    decoded values per op.  No per-transaction dicts, no
-    :class:`Operation` objects — those materialize lazily through
-    :meth:`transactions` / :meth:`build_ops` only when something off the
-    hot path (GC spill, the sharded router) asks.
-    """
-
-    __slots__ = (
-        "tids",
-        "sids",
-        "snos",
-        "starts",
-        "commits",
-        "op_offsets",
-        "op_kinds",
-        "op_keys",
-        "op_values",
-    )
-
-    def __init__(
-        self,
-        tids: Sequence[int],
-        sids: Sequence[int],
-        snos: Sequence[int],
-        starts: Sequence[int],
-        commits: Sequence[int],
-        op_offsets: Sequence[int],
-        op_kinds: bytes,
-        op_keys: List[str],
-        op_values: List[Any],
-    ) -> None:
-        self.tids = tids
-        self.sids = sids
-        self.snos = snos
-        self.starts = starts
-        self.commits = commits
-        self.op_offsets = op_offsets
-        self.op_kinds = op_kinds
-        self.op_keys = op_keys
-        self.op_values = op_values
-
-    def __len__(self) -> int:
-        return len(self.tids)
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"ColumnarBatch({len(self)} txns, {len(self.op_kinds)} ops)"
-
-    @property
-    def has_appends(self) -> bool:
-        """True when any op is an append (bytes scan, no Python loop)."""
-        return OP_APPEND in self.op_kinds
-
-    def build_ops(self, lo: int, hi: int) -> Tuple[Operation, ...]:
-        """Materialize one transaction's :class:`Operation` tuple."""
-        kinds = self.op_kinds
-        keys = self.op_keys
-        values = self.op_values
-        kind_of = _KIND_OF_CODE
-        return tuple(
-            Operation(kind_of[kinds[i]], keys[i], values[i]) for i in range(lo, hi)
-        )
-
-    def transaction_at(self, index: int) -> Transaction:
-        """One transaction, ops materialized lazily on first access."""
-        offsets = self.op_offsets
-        return Transaction.from_parts(
-            self.tids[index],
-            self.sids[index],
-            self.snos[index],
-            self.starts[index],
-            self.commits[index],
-            self,
-            offsets[index],
-            offsets[index + 1],
-        )
-
-    def transactions(self) -> List[Transaction]:
-        """Materialize the whole batch as :class:`Transaction` objects.
-
-        Ops are built eagerly: callers of this method (the sharded
-        router, replays, tests) walk every operation anyway, and eager
-        transactions do not pin the batch's arrays afterwards.
-        """
-        offsets = self.op_offsets
-        return [
-            Transaction(
-                self.tids[i],
-                self.sids[i],
-                self.snos[i],
-                self.build_ops(offsets[i], offsets[i + 1]),
-                self.starts[i],
-                self.commits[i],
-            )
-            for i in range(len(self.tids))
-        ]
-
-    def slices(self, max_size: int) -> Iterator["ColumnarBatch"]:
-        """Split into consecutive sub-batches of at most ``max_size``."""
-        n = len(self.tids)
-        if n <= max_size:
-            yield self
-            return
-        offsets = self.op_offsets
-        for lo in range(0, n, max_size):
-            hi = min(lo + max_size, n)
-            op_lo, op_hi = offsets[lo], offsets[hi]
-            yield ColumnarBatch(
-                self.tids[lo:hi],
-                self.sids[lo:hi],
-                self.snos[lo:hi],
-                self.starts[lo:hi],
-                self.commits[lo:hi],
-                [offset - op_lo for offset in offsets[lo : hi + 1]],
-                self.op_kinds[op_lo:op_hi],
-                self.op_keys[op_lo:op_hi],
-                self.op_values[op_lo:op_hi],
-            )
-
-
-def _encode_value(value: Any, out: bytearray) -> None:
-    """Append one *inline* tagged value (tag byte + payload) to ``out``.
-
-    This is the nested-value encoding: tuple items travel through it.
-    Top-level op values use the split layout built by
-    :func:`_encode_top` instead (tag column + packed i64 column +
-    overflow stream), which shares the tag vocabulary and payload
-    encodings defined here.
-
-    Fidelity contract (JSONL parity): scalars carry native payloads;
-    sequences become shallow tuples on decode (items that are themselves
-    sequences/dicts travel as embedded JSON, reproducing exactly what
-    the JSONL codec's array round trip yields); dicts and
-    out-of-``i64`` ints fall back to embedded JSON.  ``⊥v`` gets a
-    native tag — an extension over JSONL, which cannot encode it.
-    """
-    if value is None:
-        out.append(_VAL_NONE)
-    elif value is True:
-        out.append(_VAL_TRUE)
-    elif value is False:
-        out.append(_VAL_FALSE)
-    elif type(value) is int:
-        if _I64_MIN <= value <= _I64_MAX:
-            out += _TAG_I64.pack(_VAL_INT, value)
-        else:
-            payload = json.dumps(value).encode("utf-8")
-            out += _TAG_U32.pack(_VAL_JSON, len(payload))
-            out += payload
-    elif type(value) is str:
-        payload = value.encode("utf-8")
-        out += _TAG_U32.pack(_VAL_STR, len(payload))
-        out += payload
-    elif isinstance(value, (tuple, list)):
-        out += _TAG_U32.pack(_VAL_TUPLE, len(value))
-        for item in value:
-            if isinstance(item, (tuple, list, dict)):
-                # Shallow-tuple parity with the JSONL codec: nested
-                # sequences decode back as lists, dicts as dicts.
-                payload = json.dumps(item, ensure_ascii=False).encode("utf-8")
-                out += _TAG_U32.pack(_VAL_JSON, len(payload))
-                out += payload
-            else:
-                _encode_value(item, out)
-    elif isinstance(value, float):
-        out += _TAG_F64.pack(_VAL_FLOAT, value)
-    elif value is BOTTOM:
-        out.append(_VAL_BOTTOM)
-    elif isinstance(value, bool):  # bool subclasses handled above by identity
-        out.append(_VAL_TRUE if value else _VAL_FALSE)
-    elif isinstance(value, int):  # int subclasses (IntEnum, …)
-        _encode_value(int(value), out)
-    elif isinstance(value, str):  # str subclasses
-        _encode_value(str(value), out)
-    else:
-        # Anything else must survive a JSON round trip, exactly like the
-        # JSONL codec; json.dumps raising TypeError is the shared
-        # "unencodable value" contract.
-        payload = json.dumps(value, ensure_ascii=False).encode("utf-8")
-        out += _TAG_U32.pack(_VAL_JSON, len(payload))
-        out += payload
-
-
-def _encode_top(value: Any, tags: bytearray, ints: List[int], overflow: bytearray) -> None:
-    """Append one top-level op value to the split columns.
-
-    The packers inline the two overwhelmingly common cases (in-range
-    ints and ``None``) at the call site; everything else lands here.
-    The tag goes into the per-op tag column; an in-range int goes into
-    the bulk-packed i64 column; any other payload goes into the overflow
-    stream using the same per-tag payload encodings as
-    :func:`_encode_value`, minus the (redundant) inline tag byte.
-    """
-    if value is None:
-        tags.append(_VAL_NONE)
-    elif value is True:
-        tags.append(_VAL_TRUE)
-    elif value is False:
-        tags.append(_VAL_FALSE)
-    elif type(value) is int:
-        if _I64_MIN <= value <= _I64_MAX:
-            tags.append(_VAL_INT)
-            ints.append(value)
-        else:
-            payload = json.dumps(value).encode("utf-8")
-            tags.append(_VAL_JSON)
-            overflow += _U32.pack(len(payload))
-            overflow += payload
-    elif type(value) is str:
-        payload = value.encode("utf-8")
-        tags.append(_VAL_STR)
-        overflow += _U32.pack(len(payload))
-        overflow += payload
-    elif isinstance(value, (tuple, list)):
-        tags.append(_VAL_TUPLE)
-        overflow += _U32.pack(len(value))
-        for item in value:
-            if isinstance(item, (tuple, list, dict)):
-                # Shallow-tuple parity with the JSONL codec: nested
-                # sequences decode back as lists, dicts as dicts.
-                payload = json.dumps(item, ensure_ascii=False).encode("utf-8")
-                overflow += _TAG_U32.pack(_VAL_JSON, len(payload))
-                overflow += payload
-            else:
-                _encode_value(item, overflow)
-    elif isinstance(value, float):
-        tags.append(_VAL_FLOAT)
-        overflow += _F64.pack(value)
-    elif value is BOTTOM:
-        tags.append(_VAL_BOTTOM)
-    elif isinstance(value, bool):  # bool subclasses handled above by identity
-        tags.append(_VAL_TRUE if value else _VAL_FALSE)
-    elif isinstance(value, int):  # int subclasses (IntEnum, …)
-        _encode_top(int(value), tags, ints, overflow)
-    elif isinstance(value, str):  # str subclasses
-        _encode_top(str(value), tags, ints, overflow)
-    else:
-        # Anything else must survive a JSON round trip, exactly like the
-        # JSONL codec; json.dumps raising TypeError is the shared
-        # "unencodable value" contract.
-        payload = json.dumps(value, ensure_ascii=False).encode("utf-8")
-        tags.append(_VAL_JSON)
-        overflow += _U32.pack(len(payload))
-        overflow += payload
-
-
-def _decode_values(buf: bytes, offset: int, count: int) -> Tuple[List[Any], int]:
-    """Decode ``count`` tagged values; returns (values, next offset)."""
-    values: List[Any] = []
-    append = values.append
-    i64_unpack = _I64.unpack_from
-    f64_unpack = _F64.unpack_from
-    u32_unpack = _U32.unpack_from
-    end = len(buf)
-    for _ in range(count):
-        if offset >= end:
-            raise ValueError("columnar pack truncated in value stream")
-        tag = buf[offset]
-        offset += 1
-        if tag == _VAL_INT:
-            append(i64_unpack(buf, offset)[0])
-            offset += 8
-        elif tag == _VAL_STR:
-            (length,) = u32_unpack(buf, offset)
-            offset += 4
-            payload = buf[offset : offset + length]
-            if len(payload) != length:
-                raise ValueError("columnar pack truncated in string value")
-            append(payload.decode("utf-8"))
-            offset += length
-        elif tag == _VAL_NONE:
-            append(None)
-        elif tag == _VAL_TUPLE:
-            (n_items,) = u32_unpack(buf, offset)
-            offset += 4
-            if n_items > end - offset:  # each item needs >= 1 byte
-                raise ValueError("columnar pack truncated in tuple value")
-            items, offset = _decode_values(buf, offset, n_items)
-            append(tuple(items))
-        elif tag == _VAL_TRUE:
-            append(True)
-        elif tag == _VAL_FALSE:
-            append(False)
-        elif tag == _VAL_FLOAT:
-            append(f64_unpack(buf, offset)[0])
-            offset += 8
-        elif tag == _VAL_JSON:
-            (length,) = u32_unpack(buf, offset)
-            offset += 4
-            payload = buf[offset : offset + length]
-            if len(payload) != length:
-                raise ValueError("columnar pack truncated in JSON value")
-            append(json.loads(payload))
-            offset += length
-        elif tag == _VAL_BOTTOM:
-            append(BOTTOM)
-        else:
-            raise ValueError(f"unknown value tag {tag}")
-    return values, offset
-
-
-def _decode_top_values(buf: bytes, offset: int, n_ops: int) -> Tuple[List[Any], int]:
-    """Decode the split top-level value section; returns (values, next offset).
-
-    Layout: ``n_ops`` tag bytes, then one bulk ``!{k}q`` column holding
-    every ``_VAL_INT`` payload in op order (``k`` = the tag column's INT
-    count — recomputed here at C speed), then the overflow stream of
-    per-tag payloads for everything non-scalar.  The dominant case (an
-    in-range int) costs one list index per op instead of a struct call.
-    """
-    tags = buf[offset : offset + n_ops]
-    if len(tags) != n_ops:
-        raise ValueError("columnar pack truncated in value tags")
-    offset += n_ops
-    n_ints = tags.count(_VAL_INT)
-    ints_struct = struct.Struct(f"!{n_ints}q")
-    ints = ints_struct.unpack_from(buf, offset)
-    offset += ints_struct.size
-    if n_ints == n_ops:  # steady-state register batches: every value an int
-        return list(ints), offset
-    values: List[Any] = []
-    append = values.append
-    f64_unpack = _F64.unpack_from
-    u32_unpack = _U32.unpack_from
-    end = len(buf)
-    next_int = 0
-    for tag in tags:
-        if tag == _VAL_INT:
-            append(ints[next_int])
-            next_int += 1
-        elif tag == _VAL_NONE:
-            append(None)
-        elif tag == _VAL_STR:
-            (length,) = u32_unpack(buf, offset)
-            offset += 4
-            payload = buf[offset : offset + length]
-            if len(payload) != length:
-                raise ValueError("columnar pack truncated in string value")
-            append(payload.decode("utf-8"))
-            offset += length
-        elif tag == _VAL_TUPLE:
-            (n_items,) = u32_unpack(buf, offset)
-            offset += 4
-            if n_items > end - offset:  # each item needs >= 1 byte
-                raise ValueError("columnar pack truncated in tuple value")
-            items, offset = _decode_values(buf, offset, n_items)
-            append(tuple(items))
-        elif tag == _VAL_TRUE:
-            append(True)
-        elif tag == _VAL_FALSE:
-            append(False)
-        elif tag == _VAL_FLOAT:
-            append(f64_unpack(buf, offset)[0])
-            offset += 8
-        elif tag == _VAL_JSON:
-            (length,) = u32_unpack(buf, offset)
-            offset += 4
-            payload = buf[offset : offset + length]
-            if len(payload) != length:
-                raise ValueError("columnar pack truncated in JSON value")
-            append(json.loads(payload))
-            offset += length
-        elif tag == _VAL_BOTTOM:
-            append(BOTTOM)
-        else:
-            raise ValueError(f"unknown value tag {tag}")
-    return values, offset
-
-
-def pack_columnar(txns: Union[Sequence[Transaction], ColumnarBatch]) -> bytes:
-    """Pack a batch of transactions as one columnar binary blob.
-
-    One walk over the ops: the five meta columns are packed as i64
-    arrays, keys are interned into a per-blob string table, kinds become
-    one byte per op, and values split into a tag column, one bulk-packed
-    i64 column for in-range ints (the overwhelmingly common op value),
-    and an overflow stream for everything else — no per-op struct call
-    on the hot path, and no per-transaction dict or JSON object.
-    """
-    if isinstance(txns, ColumnarBatch):
-        return _pack_from_batch(txns)
-    n = len(txns)
-    offsets: List[int] = [0] * (n + 1)
-    op_lists = [txn.ops for txn in txns]
-    n_ops = 0
-    for index, ops in enumerate(op_lists):
-        n_ops += len(ops)
-        offsets[index + 1] = n_ops
-    flat_ops = [op for ops in op_lists for op in ops]
-    code_of = _CODE_OF_KIND
-    # Identity checks beat the enum dict lookup (Enum.__hash__ re-hashes
-    # the member name on every call) for the two register-workload kinds.
-    kind_read, kind_write = OpKind.READ, OpKind.WRITE
-    kinds = bytes(
-        OP_READ
-        if (kind := op.kind) is kind_read
-        else OP_WRITE if kind is kind_write else code_of[kind]
-        for op in flat_ops
-    )
-    flat_keys = [op.key for op in flat_ops]
-    key_ids: Dict[str, int] = {}
-    for key in flat_keys:
-        if key not in key_ids:
-            key_ids[key] = len(key_ids)
-    id_blob = struct.pack(f"!{n_ops}I", *map(key_ids.__getitem__, flat_keys))
-    flat_values = [op.value for op in flat_ops]
-    ints_blob = None
-    if set(map(type, flat_values)) == {int}:
-        # Steady-state register batches: every value a genuine int (the
-        # type check keeps bools out — struct would silently coerce
-        # them).  Out-of-i64-range ints fall through to the tagged walk.
-        try:
-            ints_blob = struct.pack(f"!{n_ops}q", *flat_values)
-            tags: Union[bytes, bytearray] = _INT_TAG * n_ops
-            overflow: Union[bytes, bytearray] = b""
-        except struct.error:
-            ints_blob = None
-    if ints_blob is None:
-        tags = bytearray()
-        tags_append = tags.append
-        ints: List[int] = []
-        ints_append = ints.append
-        overflow = bytearray()
-        i64_min, i64_max = _I64_MIN, _I64_MAX
-        val_int, val_none = _VAL_INT, _VAL_NONE
-        for value in flat_values:
-            if type(value) is int and i64_min <= value <= i64_max:
-                tags_append(val_int)
-                ints_append(value)
-            elif value is None:
-                tags_append(val_none)
-            else:
-                _encode_top(value, tags, ints, overflow)
-        ints_blob = struct.pack(f"!{len(ints)}q", *ints)
-    parts = [_HDR.pack(n, len(key_ids), n_ops)]
-    table = bytearray()
-    for key in key_ids:  # insertion order == id order
-        encoded = key.encode("utf-8")
-        if len(encoded) > 0xFFFF:
-            raise ValueError(f"key too long for columnar pack ({len(encoded)} bytes)")
-        table += _U16.pack(len(encoded))
-        table += encoded
-    parts.append(bytes(table))
-    meta = struct.Struct(f"!{n}q")
-    parts.append(meta.pack(*(txn.tid for txn in txns)))
-    parts.append(meta.pack(*(txn.sid for txn in txns)))
-    parts.append(meta.pack(*(txn.sno for txn in txns)))
-    parts.append(meta.pack(*(txn.start_ts for txn in txns)))
-    parts.append(meta.pack(*(txn.commit_ts for txn in txns)))
-    parts.append(struct.pack(f"!{n + 1}I", *offsets))
-    parts.append(kinds)
-    parts.append(id_blob)
-    parts.append(bytes(tags))
-    parts.append(ints_blob)
-    parts.append(bytes(overflow))
-    return b"".join(parts)
-
-
-def _pack_from_batch(batch: ColumnarBatch) -> bytes:
-    """Re-pack an already-columnar batch (relay / packed-WAL writes)."""
-    n = len(batch)
-    n_ops = len(batch.op_kinds)
-    key_ids: Dict[str, int] = {}
-    key_ids_get = key_ids.get
-    id_column: List[int] = []
-    id_append = id_column.append
-    for key in batch.op_keys:
-        key_id = key_ids_get(key)
-        if key_id is None:
-            key_id = key_ids[key] = len(key_ids)
-        id_append(key_id)
-    op_values = batch.op_values
-    ints_blob = None
-    if set(map(type, op_values)) == {int}:
-        try:
-            ints_blob = struct.pack(f"!{n_ops}q", *op_values)
-            tags: Union[bytes, bytearray] = _INT_TAG * n_ops
-            overflow: Union[bytes, bytearray] = b""
-        except struct.error:
-            ints_blob = None
-    if ints_blob is None:
-        tags = bytearray()
-        tags_append = tags.append
-        ints: List[int] = []
-        ints_append = ints.append
-        overflow = bytearray()
-        i64_min, i64_max = _I64_MIN, _I64_MAX
-        val_int, val_none = _VAL_INT, _VAL_NONE
-        for value in op_values:
-            if type(value) is int and i64_min <= value <= i64_max:
-                tags_append(val_int)
-                ints_append(value)
-            elif value is None:
-                tags_append(val_none)
-            else:
-                _encode_top(value, tags, ints, overflow)
-        ints_blob = struct.pack(f"!{len(ints)}q", *ints)
-    parts = [_HDR.pack(n, len(key_ids), n_ops)]
-    table = bytearray()
-    for key in key_ids:
-        encoded = key.encode("utf-8")
-        if len(encoded) > 0xFFFF:
-            raise ValueError(f"key too long for columnar pack ({len(encoded)} bytes)")
-        table += _U16.pack(len(encoded))
-        table += encoded
-    parts.append(bytes(table))
-    meta = struct.Struct(f"!{n}q")
-    parts.append(meta.pack(*batch.tids))
-    parts.append(meta.pack(*batch.sids))
-    parts.append(meta.pack(*batch.snos))
-    parts.append(meta.pack(*batch.starts))
-    parts.append(meta.pack(*batch.commits))
-    parts.append(struct.pack(f"!{n + 1}I", *batch.op_offsets))
-    parts.append(bytes(batch.op_kinds))
-    parts.append(struct.pack(f"!{n_ops}I", *id_column))
-    parts.append(bytes(tags))
-    parts.append(ints_blob)
-    parts.append(bytes(overflow))
-    return b"".join(parts)
-
-
-def unpack_columnar(buf: bytes, offset: int = 0) -> Tuple[ColumnarBatch, int]:
-    """Decode one columnar blob; returns ``(batch, next offset)``.
-
-    Raises :class:`ValueError` on any truncation, bad count, dangling
-    key reference, or unknown tag — the framing layer maps that to its
-    ``ProtocolError``.  Never returns a silently truncated batch: every
-    column's byte range is length-checked before slicing.
-    """
-    try:
-        n, n_keys, n_ops = _HDR.unpack_from(buf, offset)
-        offset += _HDR.size
-        table: List[str] = []
-        table_append = table.append
-        u16_unpack = _U16.unpack_from
-        for _ in range(n_keys):
-            (length,) = u16_unpack(buf, offset)
-            offset += 2
-            encoded = buf[offset : offset + length]
-            if len(encoded) != length:
-                raise ValueError("columnar pack truncated in key table")
-            table_append(encoded.decode("utf-8"))
-            offset += length
-        meta = struct.Struct(f"!{n}q")
-        meta_bytes = meta.size
-        tids = meta.unpack_from(buf, offset)
-        sids = meta.unpack_from(buf, offset + meta_bytes)
-        snos = meta.unpack_from(buf, offset + 2 * meta_bytes)
-        starts = meta.unpack_from(buf, offset + 3 * meta_bytes)
-        commits = meta.unpack_from(buf, offset + 4 * meta_bytes)
-        offset += 5 * meta_bytes
-        offsets_struct = struct.Struct(f"!{n + 1}I")
-        op_offsets = offsets_struct.unpack_from(buf, offset)
-        offset += offsets_struct.size
-        if op_offsets[0] != 0 or op_offsets[-1] != n_ops:
-            raise ValueError("columnar pack op offsets do not cover the op count")
-        previous = 0
-        for boundary in op_offsets:
-            if boundary < previous:
-                raise ValueError("columnar pack op offsets not monotonic")
-            previous = boundary
-        op_kinds = buf[offset : offset + n_ops]
-        if len(op_kinds) != n_ops:
-            raise ValueError("columnar pack truncated in op kinds")
-        for code in op_kinds:
-            if code > OP_READ_LIST:
-                raise ValueError(f"unknown op code {code}")
-        offset += n_ops
-        ids_struct = struct.Struct(f"!{n_ops}I")
-        id_column = ids_struct.unpack_from(buf, offset)
-        offset += ids_struct.size
-        op_keys = list(map(table.__getitem__, id_column))
-        op_values, offset = _decode_top_values(buf, offset, n_ops)
-    except (struct.error, IndexError, UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise ValueError(f"malformed columnar pack: {exc}") from None
-    return (
-        ColumnarBatch(
-            tids, sids, snos, starts, commits, op_offsets, op_kinds, op_keys, op_values
-        ),
-        offset,
-    )
 
 
 # ----------------------------------------------------------------------

@@ -456,6 +456,92 @@ class CheckerClient:
         else:
             self._send(message)
 
+    def submit_pipelined(
+        self,
+        txns: List[Transaction],
+        *,
+        batch_size: int = 500,
+        window: int = 8,
+        ack: bool = True,
+    ) -> int:
+        """Submit many transactions as a pipelined stream of batches.
+
+        Splits ``txns`` into batches of ``batch_size`` and keeps up to
+        ``window`` submit frames in flight before collecting the oldest
+        ack, coalescing consecutive frames into one ``sendall`` — one
+        syscall carries up to ``window`` frames, and the daemon's ingest
+        queue never waits a full round trip between batches.  Replies
+        arrive in order per connection, so the ack window is a FIFO.
+
+        Returns the number of batches sent.  On protocol v1 (or with
+        ``ack=False`` on v1) this degrades to sequential
+        :meth:`submit_many` calls per batch.  With ``auto_resume`` the
+        whole stream is covered by the resume protocol: every batch is
+        tracked until acked, and a connection cut mid-stream replays
+        only batches the daemon's watermark has not covered.
+        """
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        batches = [list(txns[lo : lo + batch_size]) for lo in range(0, len(txns), batch_size)]
+        if self.protocol != 2:
+            for batch in batches:
+                self.submit_many(batch, ack=ack)
+            return len(batches)
+        if not ack:
+            # Fire-and-forget: no acks to window, just coalesce sends.
+            out: List[bytes] = []
+            for batch in batches:
+                out.append(encode_submit_frame(batch, 0))
+                if len(out) >= window:
+                    self._sendall(b"".join(out))
+                    out.clear()
+            if out:
+                self._sendall(b"".join(out))
+            return len(batches)
+        # Sequence numbers are assigned once, before any (re)try: a
+        # resume replay identifies batches by their original seq.
+        plan: List[Tuple[int, List[Transaction]]] = []
+        for batch in batches:
+            self._seq += 1
+            plan.append((self._seq, batch))
+        if self.auto_resume:
+            for seq, batch in plan:
+                self._unacked[seq] = batch
+
+        def op() -> None:
+            pending: List[Tuple[int, int]] = []
+            out: List[bytes] = []
+
+            def collect_oldest() -> None:
+                seq, n = pending.pop(0)
+                reply = self._await_reply("ack", seq)
+                if reply.get("enqueued") != n:
+                    raise ServiceError(
+                        f"daemon enqueued {reply.get('enqueued')} of {n} transactions"
+                    )
+                if self.auto_resume:
+                    self._unacked.pop(seq, None)
+                    self._acked_seq = max(self._acked_seq, seq)
+
+            for seq, batch in plan:
+                if seq <= self._acked_seq and seq not in self._unacked:
+                    continue  # settled by a resume replay already
+                out.append(encode_submit_frame(batch, seq))
+                pending.append((seq, len(batch)))
+                if len(pending) >= window:
+                    self._sendall(b"".join(out))
+                    out.clear()
+                    collect_oldest()
+            if out:
+                self._sendall(b"".join(out))
+            while pending:
+                collect_oldest()
+
+        self._with_resume(op)
+        return len(batches)
+
     def _submit_v2(self, txns: List[Transaction], seq: int) -> None:
         self._sendall(encode_submit_frame(txns, seq))
         if seq:
@@ -653,9 +739,15 @@ class CheckerClient:
             self._fill(HEADER_SIZE)
             kind_byte, length = decode_frame_header(self._buffer[:HEADER_SIZE])
             self._fill(HEADER_SIZE + length)
-            payload = self._buffer[HEADER_SIZE : HEADER_SIZE + length]
-            self._buffer = self._buffer[HEADER_SIZE + length :]
-            message = decode_frame_payload(kind_byte, payload)
+            # Decode straight out of the receive buffer: a memoryview
+            # slice instead of a bytes copy of the payload (the columnar
+            # decoder reads it in place).
+            received = self._buffer
+            self._buffer = received[HEADER_SIZE + length :]
+            with memoryview(received) as whole:
+                message = decode_frame_payload(
+                    kind_byte, whole[HEADER_SIZE : HEADER_SIZE + length]
+                )
         else:
             message = decode_line(self._read_line())
         kind = message.get("type")

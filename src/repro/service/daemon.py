@@ -1246,6 +1246,10 @@ class CheckerService:
                 "debt": gc_debt,
             },
             "shards": shards,
+            "lanes": {
+                "frames": getattr(self.checker, "lane_frames", 0),
+                "fallbacks": getattr(self.checker, "lane_fallbacks", 0),
+            },
             "slow_batches": {
                 "total": self.slow_batch_log.total,
                 "recent": self.slow_batch_log.tail(3),
@@ -1272,8 +1276,10 @@ class CheckerService:
           ``resume_storm_window`` stay below the configured threshold.
           A storm means clients are flapping (reconnect churn), so
           verdict-latency expectations no longer hold.
-        - ``shards`` — process-mode shard workers are all alive
-          (serial executors are trivially healthy).
+        - ``shards`` — process-mode shard workers are all alive, and in
+          shm mode each lane consumer's heartbeat is advancing (an
+          alive-but-wedged consumer is unhealthy too); serial executors
+          are trivially healthy.
         """
         now = time.monotonic()
         components: Dict[str, Dict[str, Any]] = {}
@@ -1350,11 +1356,27 @@ class CheckerService:
 
         workers_alive = getattr(self.checker, "workers_alive", None)
         shards_ok = True if workers_alive is None else workers_alive()
+        if workers_alive is None or self.config.shard_executor == "serial":
+            shard_detail = "in-process"
+        elif shards_ok:
+            shard_detail = "workers alive"
+        else:
+            # Distinguish a dead process from an alive-but-wedged lane
+            # consumer: lane_health reads only shm heartbeat counters and
+            # process liveness, so it is safe from the event loop.
+            lane_health = getattr(self.checker, "lane_health", None)
+            lanes = lane_health() if lane_health is not None else []
+            dead = [row["shard"] for row in lanes if not row["alive"]]
+            wedged = [row["shard"] for row in lanes if row["alive"] and row["stalled"]]
+            if dead:
+                shard_detail = f"shard workers died: {dead}"
+            elif wedged:
+                shard_detail = f"shard lane consumers are wedged: {wedged}"
+            else:
+                shard_detail = "a shard worker died"
         components["shards"] = {
             "ok": shards_ok,
-            "detail": "in-process"
-            if workers_alive is None or self.config.shard_executor == "serial"
-            else ("workers alive" if shards_ok else "a shard worker died"),
+            "detail": shard_detail,
             "n_shards": self.config.n_shards,
             "executor": self.config.shard_executor,
         }
@@ -1489,6 +1511,34 @@ class CheckerService:
             "Flat commands routed to one shard by the most recent batch",
             ("shard",),
         )
+        self._m_lane_frames = m.counter(
+            "repro_lane_frames_total",
+            "Shard batches carried by shared-memory lane frames",
+        )
+        self._m_lane_fallbacks = m.counter(
+            "repro_lane_fallbacks_total",
+            "Shard batches that fell back to the pickled pipe path",
+        )
+        self._m_lane_heartbeat = m.gauge(
+            "repro_shard_lane_heartbeat",
+            "Lane consumer heartbeat sequence number for one shard",
+            ("shard",),
+        )
+        self._m_lane_stalled = m.gauge(
+            "repro_shard_lane_stalled",
+            "1 when one shard's lane consumer looks wedged, else 0",
+            ("shard",),
+        )
+        self._m_lane_backlog = m.gauge(
+            "repro_shard_lane_backlog_bytes",
+            "Unconsumed bytes across one shard's request and result rings",
+            ("shard",),
+        )
+        self._m_lane_bytes = m.counter(
+            "repro_shard_lane_bytes_total",
+            "Bytes pushed through one shard's lane rings since startup",
+            ("shard",),
+        )
 
     def _render_metrics(self, stats: Dict[str, Any]) -> str:
         """Mirror a ``stats()`` snapshot into the registry and render it."""
@@ -1550,6 +1600,15 @@ class CheckerService:
             self._m_shard_ext_reads.labels(shard).set(row["ext_reads"])
             self._m_shard_pending_removals.labels(shard).set(row["pending_removals"])
             self._m_shard_last_batch.labels(shard).set(row["last_batch_commands"])
+            if "lane_heartbeat" in row:
+                self._m_lane_heartbeat.labels(shard).set(row["lane_heartbeat"])
+                self._m_lane_stalled.labels(shard).set(row["lane_stalled"])
+                self._m_lane_backlog.labels(shard).set(row["lane_backlog_bytes"])
+                self._m_lane_bytes.labels(shard).set_total(row["lane_bytes"])
+        lanes = stats.get("lanes")
+        if lanes is not None:
+            self._m_lane_frames.set_total(lanes["frames"])
+            self._m_lane_fallbacks.set_total(lanes["fallbacks"])
         return self.metrics.render()
 
     # ------------------------------------------------------------------

@@ -203,31 +203,37 @@ def decode_frame_header(header: bytes) -> Tuple[int, int]:
     return kind, length
 
 
-def decode_frame_payload(kind: int, payload: bytes) -> Dict[str, Any]:
+def decode_frame_payload(
+    kind: int, payload: Union[bytes, memoryview]
+) -> Dict[str, Any]:
     """Decode one frame's payload into a message dict.
 
     ``submit`` frames return ``{"type": "submit", "seq": n | None,
     "batch": ColumnarBatch}`` — the columnar arrays go on to feed the
-    checker's batch kernel directly.  Every other kind returns the
-    embedded JSON message, validated against the kind byte.  All
-    malformations raise :class:`ProtocolError`; a partially decodable
-    batch is never returned.
+    checker's batch kernel directly.  The payload is decoded through a
+    ``memoryview``, so the key table and value columns are sliced in
+    place from the frame buffer (zero-copy receive); callers may hand in
+    a view over a larger receive buffer directly.  Every other kind
+    returns the embedded JSON message, validated against the kind byte.
+    All malformations raise :class:`ProtocolError`; a partially
+    decodable batch is never returned.
     """
     if kind == K_SUBMIT:
         if len(payload) < 4:
             raise ProtocolError("submit frame too short for its sequence number")
-        (seq,) = _U32.unpack_from(payload)
+        view = payload if type(payload) is memoryview else memoryview(payload)
+        (seq,) = _U32.unpack_from(view)
         try:
-            batch, consumed = unpack_columnar(payload, 4)
+            batch, consumed = unpack_columnar(view, 4)
         except ValueError as exc:
             raise ProtocolError(str(exc)) from None
-        if consumed != len(payload):
+        if consumed != len(view):
             raise ProtocolError(
-                f"submit frame has {len(payload) - consumed} trailing bytes"
+                f"submit frame has {len(view) - consumed} trailing bytes"
             )
         return {"type": "submit", "seq": seq if seq else None, "batch": batch}
     try:
-        message = json.loads(payload)
+        message = json.loads(payload if type(payload) is not memoryview else bytes(payload))
     except (ValueError, UnicodeDecodeError) as exc:
         raise ProtocolError(f"frame payload is not valid JSON: {exc}") from None
     if not isinstance(message, dict):

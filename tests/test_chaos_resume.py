@@ -42,6 +42,16 @@ VARIANTS = {
     "sharded": {"kwargs": {"level": "si", "n_shards": 2}, "salt": 0x03},
 }
 
+from repro.core.shm import shm_available  # noqa: E402
+
+if shm_available():
+    # The shared-memory lane executor must ride out connection chaos
+    # exactly like the in-process one (skipped where /dev/shm is absent).
+    VARIANTS["sharded-shm"] = {
+        "kwargs": {"level": "si", "n_shards": 2, "shard_executor": "shm-process"},
+        "salt": 0x04,
+    }
+
 
 @pytest.fixture
 def start_service():

@@ -494,6 +494,68 @@ class TestProtocolNegotiation:
             assert client.stats(include_bytes=False)["wire"]["v2"]["decode_errors"] >= 1
 
 
+class TestPipelinedSubmit:
+    def _workload(self, seed=17):
+        history = generate_default_history(
+            WorkloadSpec(
+                n_sessions=5, n_transactions=150, ops_per_txn=6, n_keys=30, seed=seed
+            )
+        )
+        return transactions_in_commit_order(history)
+
+    def test_pipelined_matches_sequential_verdict(self, start_service):
+        txns = self._workload()
+        sequential = start_service(batch_size=7)
+        with connect(sequential) as client:
+            client.submit_many(txns)
+            expected = client.finalize()
+            expected_stats = client.stats(include_bytes=False)
+        pipelined = start_service(batch_size=7)
+        with connect(pipelined) as client:
+            batches = client.submit_pipelined(txns, batch_size=20, window=4)
+            assert batches == (len(txns) + 19) // 20
+            actual = client.finalize()
+            stats = client.stats(include_bytes=False)
+        assert stats["received"] == len(txns)
+        assert stats["processed"] == expected_stats["processed"]
+        assert result_to_dict(actual) == result_to_dict(expected)
+
+    def test_fire_and_forget_window_then_drain(self, start_service):
+        txns = self._workload(seed=23)
+        handle = start_service()
+        with connect(handle) as client:
+            client.submit_pipelined(txns, batch_size=10, window=5, ack=False)
+            assert client.drain() == len(txns)
+
+    def test_window_and_batch_size_validated(self, start_service):
+        handle = start_service()
+        with connect(handle) as client:
+            with pytest.raises(ValueError):
+                client.submit_pipelined([], batch_size=0)
+            with pytest.raises(ValueError):
+                client.submit_pipelined([], window=0)
+
+    def test_v1_client_falls_back_to_sequential(self, start_service):
+        txns = anomaly_txns("dirty-read")
+        handle = start_service(protocol="v1")
+        with connect(handle) as client:
+            assert client.protocol == 1
+            client.submit_pipelined(txns, batch_size=2, window=4)
+            assert client.drain() == len(txns)
+
+    def test_pipelined_stream_survives_mid_flight_kills(self, start_service):
+        txns = self._workload(seed=31)
+        handle = start_service()
+        with connect(handle, auto_resume=True, reconnect_timeout=10.0) as client:
+            # Sever the socket while a full window is in flight: the
+            # resume replay must deliver every batch exactly once.
+            client.chaos_kill_frames.update({3, 9})
+            client.submit_pipelined(txns, batch_size=10, window=6)
+            stats = client.stats(include_bytes=False)
+            assert client.reconnects >= 1
+            assert stats["received"] == len(txns)
+
+
 # ----------------------------------------------------------------------
 # The differential acceptance claim
 # ----------------------------------------------------------------------

@@ -184,6 +184,56 @@ class TestSubmitCodecEquivalence:
             assert_txns_equal(original, decoded)
 
 
+class TestZeroCopyReceive:
+    """The submit decode path must parse in place, never copying the
+    payload before the columnar arrays are materialized."""
+
+    def _payload(self):
+        transaction = txn(1, [(OpKind.WRITE, "k", "v"), (OpKind.READ, "k", 7)])
+        frame = encode_submit_frame([transaction], 7)
+        return bytes(frame[HEADER_SIZE:])
+
+    def _spy(self, monkeypatch):
+        from repro.service import framing
+
+        captured = {}
+        real = framing.unpack_columnar
+
+        def spy(buf, offset=0):
+            captured["buf"] = buf
+            return real(buf, offset)
+
+        monkeypatch.setattr(framing, "unpack_columnar", spy)
+        return captured
+
+    def test_bytes_payload_is_wrapped_not_copied(self, monkeypatch):
+        payload = self._payload()
+        captured = self._spy(monkeypatch)
+        message = decode_frame_payload(K_SUBMIT, payload)
+        assert message["seq"] == 7
+        buf = captured["buf"]
+        assert type(buf) is memoryview
+        # .obj identity: the view looks straight into the received bytes.
+        assert buf.obj is payload
+
+    def test_memoryview_payload_passes_through_unwrapped(self, monkeypatch):
+        backing = self._payload()
+        view = memoryview(backing)
+        captured = self._spy(monkeypatch)
+        decode_frame_payload(K_SUBMIT, view)
+        assert captured["buf"] is view
+        assert captured["buf"].obj is backing
+
+    def test_decoded_batch_equals_copy_decoded_batch(self):
+        payload = self._payload()
+        via_view = decode_frame_payload(K_SUBMIT, memoryview(payload))
+        via_bytes = decode_frame_payload(K_SUBMIT, bytes(payload))
+        for a, b in zip(
+            via_view["batch"].transactions(), via_bytes["batch"].transactions()
+        ):
+            assert_txns_equal(a, b)
+
+
 def control_messages():
     """One representative message per v2 kind (submit excluded)."""
     samples = {
